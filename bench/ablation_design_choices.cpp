@@ -1,0 +1,142 @@
+// Ablations of the paper's design choices (the "why each ingredient
+// matters" study DESIGN.md calls for):
+//
+//  A. Phase II of Theorem 4 (redundant-edge pruning): compare |D| after
+//     phase I vs after phase II — the pruning is what turns the d|V|-ish
+//     forest into the d|V|/(d+1) star forest.
+//  B. The M(i, j) machinery on odd-regular graphs: compare Theorem 4
+//     against running the even-d algorithm (port-one) on the same odd
+//     instances — port-one is feasible but only 4 - 2/d, strictly worse
+//     than 4 - 6/(d+1) in the worst case.
+//  C. Phase II of Theorem 5 (degree-class proposals): run A(∆) with the
+//     central mirror and report how much of M comes from phase I vs phase
+//     II on degree-skewed instances — skipping phase II would leave
+//     unequal-degree edges to the weaker 2-matching phase.
+#include <iostream>
+
+#include "algo/central.hpp"
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "lb/gadgets.hpp"
+#include "lb/lower_bounds.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::Rng rng(7777);
+
+  // --- A: phase II pruning in Theorem 4 -----------------------------------
+  {
+    eds::TextTable table("Ablation A: Theorem 4 with and without phase II");
+    table.header({"instance", "n", "|D| phase I only", "|D| with phase II",
+                  "saved", "bound d*n/(d+1)"});
+    const struct {
+      eds::graph::SimpleGraph g;
+      const char* name;
+    } cases[] = {
+        {eds::graph::petersen(), "petersen"},
+        {eds::graph::prism(9), "prism-9"},
+        {eds::graph::moebius_ladder(8), "moebius-8"},
+        {eds::graph::random_regular(30, 3, rng), "rand-30-d3"},
+        {eds::graph::random_regular(24, 5, rng), "rand-24-d5"},
+        {eds::graph::random_regular(20, 7, rng), "rand-20-d7"},
+    };
+    for (const auto& c : cases) {
+      const auto d = c.g.degree(0);
+      const auto pg = eds::port::with_random_ports(c.g, rng);
+      const auto trace = eds::algo::central_odd_regular(pg);
+      table.row({c.name, std::to_string(c.g.num_nodes()),
+                 std::to_string(trace.after_phase1.size()),
+                 std::to_string(trace.after_phase2.size()),
+                 std::to_string(trace.after_phase1.size() -
+                                trace.after_phase2.size()),
+                 std::to_string(d * c.g.num_nodes() / (d + 1))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- B: Theorem 4 vs port-one on odd-regular instances ------------------
+  {
+    eds::TextTable table(
+        "Ablation B: odd-regular (Thm 4) vs port-one (Thm 3) on odd d");
+    table.header({"d", "instance", "optimum", "|D| Thm4", "|D| port-one",
+                  "Thm4 ratio", "port-one ratio", "Thm4 bound",
+                  "port-one bound"});
+    for (const eds::port::Port d : {3u, 5u}) {
+      for (int trial = 0; trial < 3; ++trial) {
+        const auto g = eds::graph::random_regular(2 * d + 6, d, rng);
+        const auto optimum = eds::exact::minimum_eds_size(g);
+        const auto pg = eds::port::with_random_ports(g, rng);
+        const auto thm4 =
+            eds::algo::run_algorithm(pg, eds::algo::Algorithm::kOddRegular, d)
+                .solution.size();
+        const auto p1 =
+            eds::algo::run_algorithm(pg, eds::algo::Algorithm::kPortOne)
+                .solution.size();
+        table.row({std::to_string(d), "rand-" + std::to_string(trial),
+                   std::to_string(optimum), std::to_string(thm4),
+                   std::to_string(p1),
+                   eds::analysis::approximation_ratio(thm4, optimum).str(),
+                   eds::analysis::approximation_ratio(p1, optimum).str(),
+                   eds::analysis::paper_bound_regular(d).str(),
+                   (eds::Fraction(4) -
+                    eds::Fraction(2, static_cast<std::int64_t>(d)))
+                       .str()});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\nport-one stays feasible on odd d but its guarantee is the"
+                 " weaker 4 - 2/d;\nthe M(i,j) machinery buys the gap down to"
+                 " 4 - 6/(d+1).\n\n";
+  }
+
+  // --- C: where M comes from in Theorem 5 ---------------------------------
+  {
+    eds::TextTable table(
+        "Ablation C: A(Delta) matching growth by phase");
+    table.header({"instance", "|M| after phase I", "|M| after phase II",
+                  "|P|", "|D|", "EDS"});
+    auto report = [&table](const char* name,
+                           const eds::port::PortedGraph& pg) {
+      const auto delta = static_cast<eds::port::Port>(
+          std::max<std::size_t>(pg.graph().max_degree(), 2));
+      const auto trace = eds::algo::central_bounded_degree(pg, delta);
+      table.row({name, std::to_string(trace.m_after_phase1.size()),
+                 std::to_string(trace.m_after_phase2.size()),
+                 std::to_string(trace.p.size()),
+                 std::to_string(trace.solution.size()),
+                 eds::analysis::is_edge_dominating_set(pg.graph(),
+                                                       trace.solution)
+                     ? "yes"
+                     : "NO"});
+    };
+    report("star-7", eds::port::with_random_ports(eds::graph::star(7), rng));
+    report("wheel-8", eds::port::with_random_ports(eds::graph::wheel(8), rng));
+    report("barbell-4-2",
+           eds::port::with_random_ports(eds::graph::barbell(4, 2), rng));
+    report("rand-24-skew",
+           eds::port::with_random_ports(
+               eds::graph::random_bounded_degree(24, 6, 40, rng), rng));
+    // The engineered case: no distinguishable neighbours anywhere, so phase
+    // I is empty and only phase II can match the hub-subdivision edges.
+    report("subdiv-gadget(torus-3x4)",
+           eds::lb::subdivided_factor_gadget(eds::graph::torus(3, 4)));
+    report("subdiv-gadget(rand-10-d6)",
+           eds::lb::subdivided_factor_gadget(
+               eds::graph::random_regular(10, 6, rng)));
+    table.print(std::cout);
+    std::cout << "\nOn natural instances phase I (distinguishable"
+                 " neighbours) does most of the\nwork.  The subdivided-factor"
+                 " gadgets eliminate every uniquely labelled edge:\nphase I"
+                 " finds nothing and the unequal-degree edges can only be"
+                 " matched by\nphase II — the safety net that makes property"
+                 " (c) (P edges join equal\ndegrees) and hence the 4 - 1/k"
+                 " analysis go through.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Section 1.1 / 1.3 context: how the anonymous distributed algorithms
+// compare against the classical baselines — greedy / randomised maximal
+// matchings (the 2-approximation any ID-based algorithm would emulate), the
+// greedy EDS heuristic, and the exact optimum.
+#include <functional>
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "baseline/baseline.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::Rng rng(2718);
+  eds::TextTable table(
+      "Mean approximation ratio over 20 instances (exact optimum = 1.0)");
+  table.header({"family", "distributed", "greedy-MM", "random-MM",
+                "greedy-EDS", "worst distributed", "paper bound"});
+
+  struct Family {
+    const char* name;
+    std::function<eds::graph::SimpleGraph(eds::Rng&)> make;
+  };
+  const Family families[] = {
+      {"3-regular n=12",
+       [](eds::Rng& r) { return eds::graph::random_regular(12, 3, r); }},
+      {"4-regular n=12",
+       [](eds::Rng& r) { return eds::graph::random_regular(12, 4, r); }},
+      {"max-deg-4 n=14",
+       [](eds::Rng& r) {
+         return eds::graph::random_bounded_degree(14, 4, 22, r);
+       }},
+      {"tree n=14",
+       [](eds::Rng& r) { return eds::graph::random_tree(14, r); }},
+  };
+
+  for (const auto& family : families) {
+    eds::Summary dist, greedy, random, geds;
+    eds::Fraction worst(0);
+    eds::Fraction bound(0);  // the loosest Table 1 bound this family hit
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto g = family.make(rng);
+      if (g.num_edges() == 0) continue;
+      const auto optimum = eds::exact::minimum_eds_size(g);
+      if (optimum == 0) continue;
+
+      const auto delta = g.max_degree();
+      const auto inst_bound = g.is_regular(delta)
+                                  ? eds::analysis::paper_bound_regular(delta)
+                                  : eds::analysis::paper_bound_bounded(delta);
+      if (inst_bound > bound) bound = inst_bound;
+
+      const auto rec = eds::algo::recommended_for(g);
+      const auto pg = eds::port::with_random_ports(g, rng);
+      const auto outcome = eds::algo::run_algorithm(pg, rec.algorithm, rec.param);
+      const auto r = eds::analysis::approximation_ratio(
+          outcome.solution.size(), optimum);
+      dist.add(r.to_double());
+      if (r > worst) worst = r;
+
+      greedy.add(eds::analysis::approximation_ratio(
+                     eds::baseline::greedy_maximal_matching(g).size(), optimum)
+                     .to_double());
+      auto child = rng.split();
+      random.add(eds::analysis::approximation_ratio(
+                     eds::baseline::random_maximal_matching(g, child).size(),
+                     optimum)
+                     .to_double());
+      geds.add(eds::analysis::approximation_ratio(
+                   eds::baseline::greedy_eds(g).size(), optimum)
+                   .to_double());
+    }
+    table.row({family.name, eds::fmt(dist.mean()), eds::fmt(greedy.mean()),
+               eds::fmt(random.mean()), eds::fmt(geds.mean()), worst.str(),
+               bound.str()});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: centralised maximal matchings sit well"
+               " below 2; the anonymous\ndistributed algorithms pay for the"
+               " weaker model but never exceed their Table 1\nbound, even in"
+               " the worst draw.\n";
+  return 0;
+}

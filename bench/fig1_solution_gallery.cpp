@@ -1,0 +1,61 @@
+// Figure 1: the four kinds of solutions on a small example graph —
+// (a) an edge dominating set, (b) a maximal matching (hence an EDS),
+// (c) a minimum edge dominating set, (d) a minimum maximal matching
+// (hence another minimum EDS).  Sizes and verifier verdicts.
+#include <iostream>
+
+#include "analysis/verify.hpp"
+#include "baseline/baseline.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/simple_graph.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using eds::graph::SimpleGraph;
+  // A Figure-1-style example: two fused 4-cycles with a pendant path —
+  // small enough to brute-force, rich enough that (a)-(d) all differ.
+  const auto g = SimpleGraph::from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}, {4, 5}, {5, 2},
+          {5, 6}, {6, 7}});
+
+  const auto eds_greedy = eds::baseline::greedy_eds(g);
+  const auto mm_greedy = eds::baseline::greedy_maximal_matching(g);
+  const auto min_eds = eds::exact::brute_force_minimum_eds(g);
+  const auto min_mm = eds::exact::minimum_maximal_matching(g);
+
+  auto verdicts = [&g](const eds::graph::EdgeSet& s) {
+    std::string out;
+    out += eds::analysis::is_edge_dominating_set(g, s) ? "EDS" : "not-EDS";
+    out += eds::analysis::is_matching(g, s) ? "+matching" : "";
+    out += eds::analysis::is_maximal_matching(g, s) ? "+maximal" : "";
+    return out;
+  };
+  auto edges_of = [&g](const eds::graph::EdgeSet& s) {
+    std::string out;
+    for (const auto e : s.to_vector()) {
+      out += "{" + std::to_string(g.edge(e).u) + "," +
+             std::to_string(g.edge(e).v) + "}";
+    }
+    return out;
+  };
+
+  eds::TextTable table("Figure 1: solution gallery on " + g.summary());
+  table.header({"panel", "solution", "size", "verdicts", "edges"});
+  table.row({"(a)", "greedy EDS", std::to_string(eds_greedy.size()),
+             verdicts(eds_greedy), edges_of(eds_greedy)});
+  table.row({"(b)", "maximal matching", std::to_string(mm_greedy.size()),
+             verdicts(mm_greedy), edges_of(mm_greedy)});
+  table.row({"(c)", "minimum EDS", std::to_string(min_eds.size()),
+             verdicts(min_eds), edges_of(min_eds)});
+  table.row({"(d)", "minimum maximal matching", std::to_string(min_mm.size()),
+             verdicts(min_mm), edges_of(min_mm)});
+  table.print(std::cout);
+
+  std::cout << "\nSection 1.1 facts checked: |minimum maximal matching| == "
+               "|minimum EDS| ("
+            << min_mm.size() << " == " << min_eds.size()
+            << "), and converting the minimum EDS via the Yannakakis–Gavril\n"
+               "procedure yields a maximal matching of size "
+            << eds::baseline::independent_eds_from(g, min_eds).size() << ".\n";
+  return min_mm.size() == min_eds.size() ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Figure 4 / Theorem 1: the even-degree lower-bound construction, swept
+// over d.  For each even d we rebuild the graph of Figure 4, verify its
+// anatomy (d-regular, |S| = d/2, covering map to the one-node multigraph),
+// and measure the prescribed O(1) algorithm hitting the bound 4 - 2/d
+// exactly.
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "lb/lower_bounds.hpp"
+#include "port/covering.hpp"
+#include "runtime/outputs.hpp"
+#include "runtime/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::TextTable table("Theorem 1 / Figure 4: even-d lower bound, measured");
+  table.header({"d", "|V|", "|E|", "|S| (opt)", "|D| measured", "ratio",
+                "bound 4-2/d", "tight?", "covering ok", "symmetric outputs"});
+
+  for (eds::port::Port d = 2; d <= 12; d += 2) {
+    const auto inst = eds::lb::even_lower_bound(d);
+    const auto& g = inst.ported.graph();
+
+    const auto factory = eds::algo::make_factory(eds::algo::Algorithm::kPortOne);
+    const auto raw = eds::runtime::run_synchronous(inst.ported.ports(), *factory);
+    const auto solution = eds::runtime::validated_edge_set(inst.ported, raw);
+    const auto ratio = eds::analysis::approximation_ratio(solution.size(),
+                                                          inst.optimal.size());
+    const auto covering_ok = eds::port::is_covering_map(
+        inst.ported.ports(), inst.covering_base, inst.covering_map);
+
+    table.row({std::to_string(d), std::to_string(g.num_nodes()),
+               std::to_string(g.num_edges()), std::to_string(inst.optimal.size()),
+               std::to_string(solution.size()), ratio.str(),
+               inst.forced_ratio.str(),
+               ratio == inst.forced_ratio ? "EQUAL" : "no",
+               covering_ok ? "yes" : "NO",
+               eds::runtime::all_outputs_identical(raw) ? "yes" : "no"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: |D| = |V| = 2d - 1 (one full 2-factor is"
+               " forced), ratio == 4 - 2/d\nexactly for every even d, and all"
+               " nodes emit identical outputs (the covering-map\nsymmetry that"
+               " drives the proof).\n";
+  return 0;
+}

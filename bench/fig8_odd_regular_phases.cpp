@@ -1,0 +1,77 @@
+// Figure 8: the matchings M(i, j) and the two phases of Theorem 4's
+// algorithm on 3-regular port-numbered graphs.  Panel (b): the nine M(i, j)
+// matchings; panels (c)/(d): D after phase I (spanning forest, edge cover)
+// and after phase II (star forest).  We also confirm the distributed
+// execution agrees with the centralised mirror edge-for-edge.
+#include <iostream>
+
+#include "algo/central.hpp"
+#include "algo/driver.hpp"
+#include "analysis/verify.hpp"
+#include "graph/generators.hpp"
+#include "port/labels.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::Rng rng(88);
+
+  // Panel (b): M(i, j) on one fixed 3-regular example.
+  const auto g0 = eds::graph::petersen();
+  const auto pg0 = eds::port::with_random_ports(g0, rng);
+  eds::TextTable mtable("Figure 8(b): the matchings M(i,j) on the Petersen "
+                        "graph (random ports)");
+  mtable.header({"i\\j", "j=1", "j=2", "j=3"});
+  for (eds::port::Port i = 1; i <= 3; ++i) {
+    std::vector<std::string> row{"i=" + std::to_string(i)};
+    for (eds::port::Port j = 1; j <= 3; ++j) {
+      const auto m = eds::port::matching_m(pg0, i, j);
+      row.push_back("|M|=" + std::to_string(m.size()) +
+                    (eds::analysis::is_matching(g0, m) ? "" : " NOT-MATCHING"));
+    }
+    mtable.row(row);
+  }
+  mtable.print(std::cout);
+  std::cout << "\n";
+
+  // Panels (c)/(d): phase snapshots across instances.
+  eds::TextTable table("Figure 8(c)-(d): phase I/II snapshots, 3-regular");
+  table.header({"instance", "n", "|D| phase I", "forest", "edge cover",
+                "|D| phase II", "star forest", "|D|<=dn/(d+1)",
+                "distributed == central"});
+
+  const struct {
+    eds::graph::SimpleGraph g;
+    const char* name;
+  } cases[] = {
+      {eds::graph::petersen(), "petersen"},
+      {eds::graph::complete_bipartite(3, 3), "K33"},
+      {eds::graph::random_regular(14, 3, rng), "rand-14"},
+      {eds::graph::random_regular(26, 3, rng), "rand-26"},
+      {eds::graph::circulant(12, {1, 6}), "circulant-12"},
+  };
+  for (const auto& c : cases) {
+    const auto pg = eds::port::with_random_ports(c.g, rng);
+    const auto trace = eds::algo::central_odd_regular(pg);
+    const auto outcome =
+        eds::algo::run_algorithm(pg, eds::algo::Algorithm::kOddRegular, 3);
+
+    const auto n = c.g.num_nodes();
+    table.row(
+        {c.name, std::to_string(n), std::to_string(trace.after_phase1.size()),
+         eds::analysis::is_forest(c.g, trace.after_phase1) ? "yes" : "NO",
+         eds::analysis::is_edge_cover(c.g, trace.after_phase1) ? "yes" : "NO",
+         std::to_string(trace.after_phase2.size()),
+         eds::analysis::is_star_forest(c.g, trace.after_phase2) ? "yes" : "NO",
+         trace.after_phase2.size() * 4 <= 3 * n ? "yes" : "NO",
+         outcome.solution == trace.after_phase2 ? "yes" : "DIVERGED"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: phase I builds a spanning forest that covers"
+               " every node;\nphase II prunes it to a star forest with"
+               " |D| <= d|V|/(d+1) (d = 3: <= 3n/4);\nthe distributed run"
+               " equals the centralised mirror exactly.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 9: the anatomy of Theorem 5's algorithm A(∆) — the matching M
+// (phases I-II), the 2-matching P (phase III), their node-disjointness,
+// and the final D = M ∪ P with its ratio against the exact optimum.
+#include <iostream>
+#include <memory>
+
+#include "algo/bounded_degree.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "runtime/outputs.hpp"
+#include "runtime/runner.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::Rng rng(99);
+  eds::TextTable table("Figure 9: M / P decomposition of A(Delta)");
+  table.header({"instance", "n", "m", "Delta", "|M|", "|P|", "|D|=|M|+|P|",
+                "2-matching", "EDS", "ratio", "alpha(Delta)", "rounds"});
+
+  const struct {
+    eds::graph::SimpleGraph g;
+    const char* name;
+  } cases[] = {
+      {eds::graph::grid(3, 5), "grid-3x5"},
+      {eds::graph::star(6), "star-6"},
+      {eds::graph::complete_bipartite(3, 4), "K34"},
+      {eds::graph::random_bounded_degree(16, 5, 26, rng), "rand-16"},
+      {eds::graph::random_bounded_degree(14, 4, 22, rng), "rand-14"},
+      {eds::graph::random_tree(15, rng), "tree-15"},
+  };
+
+  for (const auto& c : cases) {
+    const auto delta = static_cast<eds::port::Port>(
+        std::max<std::size_t>(c.g.max_degree(), 2));
+    const auto pg = eds::port::with_random_ports(c.g, rng);
+
+    const auto sink = std::make_shared<eds::algo::BoundedPhaseStats>();
+    const eds::algo::BoundedDegreeFactory factory(delta, sink);
+    const auto raw = eds::runtime::run_synchronous(pg.ports(), factory);
+    const auto solution = eds::runtime::validated_edge_set(pg, raw);
+
+    const auto optimum = eds::exact::minimum_eds_size(c.g);
+    const auto ratio =
+        optimum > 0
+            ? eds::analysis::approximation_ratio(solution.size(), optimum)
+            : eds::Fraction(1);
+
+    table.row({c.name, std::to_string(c.g.num_nodes()),
+               std::to_string(c.g.num_edges()), std::to_string(delta),
+               std::to_string(sink->matching_size()),
+               std::to_string(sink->two_matching_size()),
+               std::to_string(solution.size()),
+               eds::analysis::is_k_matching(c.g, solution, 2) ? "yes" : "NO",
+               eds::analysis::is_edge_dominating_set(c.g, solution) ? "yes"
+                                                                     : "NO",
+               ratio.str(),
+               eds::analysis::paper_bound_bounded(delta).str(),
+               std::to_string(raw.stats.rounds)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: M is a matching and P a node-disjoint"
+               " 2-matching, so D is a\n2-matching (Section 7.3 property (a));"
+               " D dominates every edge; the ratio stays\nwithin"
+               " alpha(Delta) = 4 - 1/k; rounds depend only on Delta.\n";
+  return 0;
+}

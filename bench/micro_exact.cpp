@@ -1,0 +1,64 @@
+// google-benchmark: exact solver scaling (branch-and-bound vs brute force)
+// and the centralised baselines.
+#include <benchmark/benchmark.h>
+
+#include "baseline/baseline.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_ExactBranchAndBound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(1);
+  const auto g = eds::graph::random_regular(n, 3, rng);
+  for (auto _ : state) {
+    auto size = eds::exact::minimum_eds_size(g);
+    benchmark::DoNotOptimize(size);
+  }
+}
+BENCHMARK(BM_ExactBranchAndBound)->Arg(10)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_BruteForce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(2);
+  const auto g = eds::graph::random_bounded_degree(n, 3, n + 2, rng);
+  if (g.num_edges() > 24) {
+    state.SkipWithError("instance too large for brute force");
+    return;
+  }
+  for (auto _ : state) {
+    auto solution = eds::exact::brute_force_minimum_eds(g);
+    benchmark::DoNotOptimize(solution.size());
+  }
+}
+BENCHMARK(BM_BruteForce)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_GreedyMaximalMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(3);
+  const auto g = eds::graph::random_regular(n, 6, rng);
+  for (auto _ : state) {
+    auto m = eds::baseline::greedy_maximal_matching(g);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GreedyMaximalMatching)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_GreedyEds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(4);
+  const auto g = eds::graph::random_regular(n, 4, rng);
+  for (auto _ : state) {
+    auto d = eds::baseline::greedy_eds(g);
+    benchmark::DoNotOptimize(d.size());
+  }
+}
+BENCHMARK(BM_GreedyEds)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

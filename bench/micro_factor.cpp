@@ -1,0 +1,74 @@
+// google-benchmark: the factorisation substrate — Euler orientation,
+// Hopcroft–Karp, Petersen 2-factorisation, and lower-bound construction.
+#include <benchmark/benchmark.h>
+
+#include "factor/bipartite_matching.hpp"
+#include "factor/euler.hpp"
+#include "factor/two_factor.hpp"
+#include "graph/generators.hpp"
+#include "lb/lower_bounds.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_EulerOrientation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(1);
+  const auto g = eds::graph::random_regular(n, 6, rng);
+  for (auto _ : state) {
+    auto oriented = eds::factor::euler_orientation(g);
+    benchmark::DoNotOptimize(oriented.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EulerOrientation)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(2);
+  const auto g = eds::graph::random_bipartite_regular(side, 5, rng);
+  eds::factor::BipartiteGraph b{side, side, {}};
+  for (const auto& e : g.edges()) {
+    b.edges.push_back({e.u, static_cast<std::uint32_t>(e.v - side)});
+  }
+  for (auto _ : state) {
+    auto matching = eds::factor::hopcroft_karp(b);
+    benchmark::DoNotOptimize(matching.size());
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_TwoFactorise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  eds::Rng rng(3);
+  const auto g = eds::graph::random_regular(n, d, rng);
+  for (auto _ : state) {
+    auto tf = eds::factor::two_factorise(g);
+    benchmark::DoNotOptimize(tf.k());
+  }
+}
+BENCHMARK(BM_TwoFactorise)->Args({64, 4})->Args({256, 4})->Args({256, 8});
+
+void BM_EvenLowerBoundConstruction(benchmark::State& state) {
+  const auto d = static_cast<eds::port::Port>(state.range(0));
+  for (auto _ : state) {
+    auto inst = eds::lb::even_lower_bound(d);
+    benchmark::DoNotOptimize(inst.optimal.size());
+  }
+}
+BENCHMARK(BM_EvenLowerBoundConstruction)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OddLowerBoundConstruction(benchmark::State& state) {
+  const auto d = static_cast<eds::port::Port>(state.range(0));
+  for (auto _ : state) {
+    auto inst = eds::lb::odd_lower_bound(d);
+    benchmark::DoNotOptimize(inst.optimal.size());
+  }
+}
+BENCHMARK(BM_OddLowerBoundConstruction)->Arg(3)->Arg(7)->Arg(11);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// google-benchmark: simulator throughput — rounds/sec and full-algorithm
+// wall time across n and d.
+#include <benchmark/benchmark.h>
+
+#include "algo/driver.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_PortOne(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(1);
+  const auto g = eds::graph::random_regular(n, 4, rng);
+  const auto pg = eds::port::with_random_ports(g, rng);
+  for (auto _ : state) {
+    auto outcome = eds::algo::run_algorithm(pg, eds::algo::Algorithm::kPortOne);
+    benchmark::DoNotOptimize(outcome.solution.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PortOne)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OddRegular(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<eds::port::Port>(state.range(1));
+  eds::Rng rng(2);
+  const auto g = eds::graph::random_regular(n, d, rng);
+  const auto pg = eds::port::with_random_ports(g, rng);
+  for (auto _ : state) {
+    auto outcome =
+        eds::algo::run_algorithm(pg, eds::algo::Algorithm::kOddRegular, d);
+    benchmark::DoNotOptimize(outcome.stats.rounds);
+  }
+}
+BENCHMARK(BM_OddRegular)
+    ->Args({64, 3})
+    ->Args({256, 3})
+    ->Args({1024, 3})
+    ->Args({64, 5})
+    ->Args({64, 7});
+
+void BM_BoundedDegree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(3);
+  const auto g = eds::graph::random_bounded_degree(n, 5, 2 * n, rng);
+  const auto pg = eds::port::with_random_ports(g, rng);
+  const auto delta = static_cast<eds::port::Port>(
+      std::max<std::size_t>(g.max_degree(), 2));
+  for (auto _ : state) {
+    auto outcome = eds::algo::run_algorithm(
+        pg, eds::algo::Algorithm::kBoundedDegree, delta);
+    benchmark::DoNotOptimize(outcome.stats.rounds);
+  }
+}
+BENCHMARK(BM_BoundedDegree)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RunnerRoundOverhead(benchmark::State& state) {
+  // Pure routing cost: double-cover (2∆ rounds, light logic) on a big torus.
+  const auto side = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(4);
+  const auto g = eds::graph::torus(side, side);
+  const auto pg = eds::port::with_random_ports(g, rng);
+  for (auto _ : state) {
+    auto outcome =
+        eds::algo::run_algorithm(pg, eds::algo::Algorithm::kDoubleCover, 4);
+    benchmark::DoNotOptimize(outcome.stats.messages_sent);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()) * 8);
+}
+BENCHMARK(BM_RunnerRoundOverhead)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

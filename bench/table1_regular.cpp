@@ -1,0 +1,111 @@
+// Reproduces Table 1, d-regular rows, empirically.
+//
+// For each d we report:
+//   * the paper's tight ratio (lower bound = upper bound),
+//   * the measured ratio of the prescribed algorithm on the matching
+//     lower-bound construction (must EQUAL the bound, as exact rationals),
+//   * the worst measured ratio over random d-regular instances and random
+//     port numberings (must be <= the bound),
+//   * the round count (O(1) for even d, O(d^2) for odd d, independent of n).
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "lb/lower_bounds.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using eds::Fraction;
+using eds::algo::Algorithm;
+
+struct Row {
+  eds::port::Port d;
+  Fraction bound;
+  Fraction worst_case;     // on the lower-bound construction
+  Fraction random_worst;   // max over random instances
+  eds::runtime::Round rounds;
+  bool all_feasible;
+};
+
+Row measure(eds::port::Port d, eds::Rng& rng) {
+  Row row{d, eds::analysis::paper_bound_regular(d), Fraction(0), Fraction(0),
+          0, true};
+  const Algorithm alg =
+      d % 2 == 0 ? Algorithm::kPortOne : Algorithm::kOddRegular;
+
+  // Worst case: the matching lower-bound construction (d >= 2; d = 1 has no
+  // construction — the trivial optimum is forced, ratio 1).
+  if (d == 1) {
+    row.worst_case = Fraction(1);
+    const auto g = eds::graph::circulant(8, {4});
+    const auto pg = eds::port::with_canonical_ports(g);
+    const auto outcome = eds::algo::run_algorithm(pg, Algorithm::kOddRegular, 1);
+    row.rounds = outcome.stats.rounds;
+    row.worst_case = eds::analysis::approximation_ratio(
+        outcome.solution.size(), eds::exact::minimum_eds_size(g));
+  } else if (d % 2 == 0) {
+    const auto inst = eds::lb::even_lower_bound(d);
+    const auto outcome = eds::algo::run_algorithm(inst.ported, alg, 0);
+    row.worst_case = eds::analysis::approximation_ratio(
+        outcome.solution.size(), inst.optimal.size());
+    row.rounds = outcome.stats.rounds;
+  } else {
+    const auto inst = eds::lb::odd_lower_bound(d);
+    const auto outcome = eds::algo::run_algorithm(inst.ported, alg, d);
+    row.worst_case = eds::analysis::approximation_ratio(
+        outcome.solution.size(), inst.optimal.size());
+    row.rounds = outcome.stats.rounds;
+  }
+
+  // Random d-regular instances (exact optimum; several numberings each).
+  // Instance sizes keep the exact solver comfortable (m <= ~60 edges).
+  for (int instance = 0; instance < 4; ++instance) {
+    const std::size_t n = d >= 7 ? 12 : 2 * d + 6;
+    const auto g = eds::graph::random_regular(n, d, rng);
+    const auto optimum = eds::exact::minimum_eds_size(g);
+    for (int numbering = 0; numbering < 3; ++numbering) {
+      const auto pg = eds::port::with_random_ports(g, rng);
+      const auto outcome = eds::algo::run_algorithm(pg, alg, d % 2 ? d : 0);
+      row.all_feasible =
+          row.all_feasible &&
+          eds::analysis::is_edge_dominating_set(g, outcome.solution);
+      const auto ratio = eds::analysis::approximation_ratio(
+          outcome.solution.size(), optimum);
+      if (ratio > row.random_worst) row.random_worst = ratio;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  eds::Rng rng(20100725);  // PODC 2010's opening day
+  eds::TextTable table(
+      "Table 1 (d-regular rows): paper bound vs measured, all tight");
+  table.header({"d", "parity", "paper ratio", "worst-case measured",
+                "tight?", "random worst", "<= bound?", "rounds", "feasible"});
+
+  for (eds::port::Port d = 1; d <= 10; ++d) {
+    const auto row = measure(d, rng);
+    table.row({std::to_string(d), d % 2 ? "odd" : "even", row.bound.str(),
+               row.worst_case.str(),
+               row.worst_case == row.bound ? "EQUAL" : "no",
+               row.random_worst.str(),
+               row.random_worst <= row.bound ? "yes" : "VIOLATED",
+               std::to_string(row.rounds), row.all_feasible ? "yes" : "NO"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: worst-case measured == paper ratio for every"
+               " d >= 2\n(the bounds are tight), random worst <= bound, and"
+               " rounds grow as O(d^2)\nfor odd d while staying 1 for even d."
+               "\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The Polishchuk–Suomela corollary behind phase III ([21], IPL 2009): the
+// nodes covered by the double-cover 2-matching form a 3-approximate vertex
+// cover — measured against the exact minimum vertex cover.
+#include <functional>
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "exact/vertex_cover.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::Rng rng(1729);
+  eds::TextTable table(
+      "Vertex cover via the distributed 2-matching (bound: 3x)");
+  table.header({"family", "instances", "mean ratio", "worst ratio",
+                "bound", "rounds"});
+
+  struct Family {
+    const char* name;
+    std::function<eds::graph::SimpleGraph(eds::Rng&)> make;
+  };
+  const Family families[] = {
+      {"3-regular n=12",
+       [](eds::Rng& r) { return eds::graph::random_regular(12, 3, r); }},
+      {"4-regular n=12",
+       [](eds::Rng& r) { return eds::graph::random_regular(12, 4, r); }},
+      {"max-deg-4 n=16",
+       [](eds::Rng& r) {
+         return eds::graph::random_bounded_degree(16, 4, 26, r);
+       }},
+      {"tree n=16",
+       [](eds::Rng& r) { return eds::graph::random_tree(16, r); }},
+      {"cycle n=15",
+       [](eds::Rng& r) {
+         (void)r;
+         return eds::graph::cycle(15);
+       }},
+  };
+
+  for (const auto& family : families) {
+    eds::Summary ratios;
+    eds::Fraction worst(0);
+    eds::runtime::Round rounds = 0;
+    int instances = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+      const auto g = family.make(rng);
+      if (g.num_edges() == 0) continue;
+      const auto optimum = eds::exact::minimum_vertex_cover_size(g);
+      if (optimum == 0) continue;
+      ++instances;
+      const auto pg = eds::port::with_random_ports(g, rng);
+      const auto outcome =
+          eds::algo::run_algorithm(pg, eds::algo::Algorithm::kDoubleCover);
+      rounds = outcome.stats.rounds;
+      const auto cover =
+          eds::exact::vertex_cover_from_two_matching(g, outcome.solution);
+      const auto ratio =
+          eds::analysis::approximation_ratio(cover.size(), optimum);
+      ratios.add(ratio.to_double());
+      if (ratio > worst) worst = ratio;
+    }
+    table.row({family.name, std::to_string(instances),
+               eds::fmt(ratios.mean()), worst.str(), "3",
+               std::to_string(rounds)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: worst ratios stay at or below 3 (typically"
+               " well below 2 on\nrandom instances); rounds are 2*Delta —"
+               " independent of n.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// How much does the port numbering matter?  The same algorithm on the same
+// graph under friendly (random) vs adversarial (2-factorisation) numberings:
+// the adversarial numbering forces the Theorem 1 worst case.
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "exact/exact_eds.hpp"
+#include "factor/two_factor.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  eds::Rng rng(2026);
+  eds::TextTable table(
+      "port-one on 4-regular graphs: numbering adversary study");
+  table.header({"graph", "optimum", "factor-ports |D|", "random-ports |D|",
+                "best over 20 numberings", "paper bound"});
+
+  for (int instance = 0; instance < 5; ++instance) {
+    const auto g = eds::graph::random_regular(14, 4, rng);
+    const auto optimum = eds::exact::minimum_eds_size(g);
+
+    const auto adversarial = eds::factor::with_factor_ports(g);
+    const auto forced =
+        eds::algo::run_algorithm(adversarial, eds::algo::Algorithm::kPortOne)
+            .solution.size();
+
+    std::size_t one_random = 0;
+    std::size_t best = g.num_edges();
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto pg = eds::port::with_random_ports(g, rng);
+      const auto size =
+          eds::algo::run_algorithm(pg, eds::algo::Algorithm::kPortOne)
+              .solution.size();
+      if (trial == 0) one_random = size;
+      best = std::min(best, size);
+    }
+
+    table.row({"random-4-regular-" + std::to_string(instance),
+               std::to_string(optimum), std::to_string(forced),
+               std::to_string(one_random), std::to_string(best),
+               eds::analysis::paper_bound_regular(4).str()});
+  }
+
+  table.print(std::cout);
+  std::cout
+      << "\nThe factor-based numbering always forces |D| = |V| = 14 (a whole\n"
+         "2-factor), matching the lower-bound construction; random\n"
+         "numberings usually admit much smaller outputs.  The guarantee\n"
+         "4 - 2/d holds regardless of the adversary.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a graph, number its ports, run the paper's algorithm,
+// verify the result, and compare against the exact optimum.
+//
+//   $ ./examples/quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  eds::Rng rng(seed);
+
+  // 1. A random 3-regular network on 16 nodes.
+  const auto g = eds::graph::random_regular(16, 3, rng);
+  std::cout << "graph: " << g.summary() << "\n";
+
+  // 2. An adversary-chosen port numbering (here: random).
+  const auto pg = eds::port::with_random_ports(g, rng);
+
+  // 3. The paper prescribes Theorem 4's O(d^2) algorithm for odd-regular
+  //    graphs; recommended_for picks it automatically.
+  const auto rec = eds::algo::recommended_for(g);
+  std::cout << "algorithm: " << eds::algo::algorithm_name(rec.algorithm)
+            << "\n";
+
+  const auto outcome = eds::algo::run_algorithm(pg, rec.algorithm, rec.param);
+  std::cout << "rounds: " << outcome.stats.rounds
+            << "   messages: " << outcome.stats.messages_sent << "\n";
+  std::cout << "|D| = " << outcome.solution.size() << ", edges:";
+  for (const auto e : outcome.solution.to_vector()) {
+    std::cout << " {" << g.edge(e).u << "," << g.edge(e).v << "}";
+  }
+  std::cout << "\n";
+
+  // 4. Verify and compare with the exact optimum.
+  const bool feasible =
+      eds::analysis::is_edge_dominating_set(g, outcome.solution);
+  const auto optimum = eds::exact::minimum_eds_size(g);
+  const auto ratio =
+      eds::analysis::approximation_ratio(outcome.solution.size(), optimum);
+  const auto bound = eds::analysis::paper_bound_regular(3);
+  std::cout << "feasible EDS: " << (feasible ? "yes" : "NO") << "\n";
+  std::cout << "optimum |D*| = " << optimum << ", ratio = " << ratio
+            << " (= " << ratio.to_double() << "), paper bound = " << bound
+            << " (= " << bound.to_double() << ")\n";
+  return feasible && ratio <= bound ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// A realistic deployment scenario: link monitoring in a wireless mesh.
+//
+// An edge dominating set is exactly a minimum set of links on which to run
+// monitoring agents so that every link is adjacent to a monitored one —
+// and the port-numbering model matches radio hardware with numbered
+// interfaces but no globally unique IDs.  We compare the distributed
+// algorithm against the centralised baselines on a torus-shaped mesh and on
+// an irregular mesh with failed nodes.
+#include <iostream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "baseline/baseline.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void report(const std::string& name, const eds::graph::SimpleGraph& g,
+            eds::Rng& rng, eds::TextTable& table) {
+  const auto pg = eds::port::with_random_ports(g, rng);
+  const auto rec = eds::algo::recommended_for(g);
+  const auto outcome = eds::algo::run_algorithm(pg, rec.algorithm, rec.param);
+  const bool ok = eds::analysis::is_edge_dominating_set(g, outcome.solution);
+
+  const auto greedy = eds::baseline::greedy_maximal_matching(g);
+  auto child = rng.split();
+  const auto random = eds::baseline::random_maximal_matching(g, child);
+
+  table.row({name, std::to_string(g.num_nodes()), std::to_string(g.num_edges()),
+             eds::algo::algorithm_name(rec.algorithm),
+             std::to_string(outcome.solution.size()),
+             std::to_string(outcome.stats.rounds), ok ? "yes" : "NO",
+             std::to_string(greedy.size()), std::to_string(random.size())});
+}
+
+}  // namespace
+
+int main() {
+  eds::Rng rng(7);
+  eds::TextTable table("link monitoring on mesh networks");
+  table.header({"mesh", "nodes", "links", "algorithm", "monitors", "rounds",
+                "valid", "greedy-MM", "random-MM"});
+
+  // A pristine 6x6 torus mesh (4-regular: every radio has 4 neighbours).
+  report("torus-6x6", eds::graph::torus(6, 6), rng, table);
+
+  // A campus-wide 8x12 torus.
+  report("torus-8x12", eds::graph::torus(8, 12), rng, table);
+
+  // An irregular mesh: a bounded-degree random deployment (failed radios,
+  // obstacles), max 5 interfaces per node.
+  report("irregular-120", eds::graph::random_bounded_degree(120, 5, 260, rng),
+         rng, table);
+
+  // A sparse backbone: a random tree plus a few cross links.
+  auto backbone = eds::graph::random_tree(60, rng);
+  report("backbone-60", backbone, rng, table);
+
+  table.print(std::cout);
+  std::cout << "\nReading: 'monitors' is the distributed solution size —\n"
+               "every link is adjacent to a monitored link; 'rounds' is\n"
+               "independent of mesh size (locality), so the same firmware\n"
+               "scales to any deployment.\n";
+  return 0;
+}

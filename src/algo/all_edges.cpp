@@ -1,0 +1,3 @@
+#include "algo/all_edges.hpp"
+
+// Header-only implementation; this translation unit anchors the vtable.

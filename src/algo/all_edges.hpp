@@ -1,0 +1,41 @@
+// The trivial algorithm for ∆ = 1 (Table 1, first bounded-degree row).
+//
+// In a graph of maximum degree 1 every component is an isolated node or a
+// single edge, and the only edge dominating set containing each edge's
+// component is the edge itself: outputting every port is optimal (ratio 1)
+// and requires no communication.
+#pragma once
+
+#include "runtime/program.hpp"
+
+namespace eds::algo {
+
+class AllEdgesProgram final : public runtime::NodeProgram {
+ public:
+  void start(port::Port degree) override {
+    degree_ = degree;
+    halted_ = true;  // no communication needed
+  }
+  void send(runtime::Round, std::span<runtime::Message>) override {}
+  void receive(runtime::Round, std::span<const runtime::Message>) override {}
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<port::Port> output() const override {
+    std::vector<port::Port> out;
+    for (port::Port i = 1; i <= degree_; ++i) out.push_back(i);
+    return out;
+  }
+
+ private:
+  port::Port degree_ = 0;
+  bool halted_ = false;
+};
+
+class AllEdgesFactory final : public runtime::ProgramFactory {
+ public:
+  [[nodiscard]] std::unique_ptr<runtime::NodeProgram> create() const override {
+    return std::make_unique<AllEdgesProgram>();
+  }
+  [[nodiscard]] std::string name() const override { return "all-edges"; }
+};
+
+}  // namespace eds::algo

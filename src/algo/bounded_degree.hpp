@@ -1,0 +1,138 @@
+// Theorem 5: the family A(∆) achieving α(2k) = α(2k+1) = 4 − 1/k for
+// graphs of maximum degree ∆, in O(∆²) rounds.
+//
+// The factory normalises the family parameter to ∆' = 2k+1 (the paper sets
+// A(2k) = A(2k+1)); ∆ = 1 is served by AllEdgesProgram instead.  All nodes
+// derive the same round schedule from ∆':
+//
+//   round 1                     — hello: remote ports and degrees
+//   round 2                     — distinguishable-neighbour claims
+//   rounds 3 … 2+∆'²            — phase I: M(i, j) sweep; add e to the
+//                                 matching M iff *neither* endpoint is
+//                                 covered by M
+//   next 2∆'(∆'−1) rounds       — phase II: for i = 2 … ∆' sequentially,
+//                                 proposal-based maximal matching on the
+//                                 bipartite graph B_i of edges {u, v} with
+//                                 deg u < deg v = i and both ends M-free
+//                                 (degree-i nodes propose in increasing port
+//                                 order, smaller-degree nodes accept their
+//                                 first proposal); ∆' slots of 2 rounds each
+//   one round                   — M-coverage broadcast
+//   final 2∆' rounds            — phase III: double-cover 2-matching P on
+//                                 the subgraph H of edges with both ends
+//                                 M-free
+//
+// Output: D = M ∪ P (my M port, if any, plus my P ports).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/common.hpp"
+#include "algo/double_cover.hpp"
+#include "runtime/program.hpp"
+
+namespace eds::algo {
+
+/// Aggregate phase statistics collected across all nodes of one execution
+/// (for the Figure 9 phase portrait).  Each M edge is reported twice (once
+/// per endpoint), as is each P edge, so |M| = m_port_claims / 2 and
+/// |P| = p_port_claims / 2.
+struct BoundedPhaseStats {
+  std::size_t m_port_claims = 0;
+  std::size_t p_port_claims = 0;
+
+  [[nodiscard]] std::size_t matching_size() const { return m_port_claims / 2; }
+  [[nodiscard]] std::size_t two_matching_size() const {
+    return p_port_claims / 2;
+  }
+};
+
+class BoundedDegreeProgram final : public runtime::NodeProgram {
+ public:
+  /// `max_degree` is the family parameter ∆ >= 2 (for ∆ = 1 use
+  /// AllEdgesProgram); it is normalised to the next odd value internally.
+  /// `sink`, when set, receives per-node phase statistics at halt time.
+  explicit BoundedDegreeProgram(
+      port::Port max_degree,
+      std::shared_ptr<BoundedPhaseStats> sink = nullptr);
+
+  void start(port::Port degree) override;
+  void send(runtime::Round round, std::span<runtime::Message> out) override;
+  void receive(runtime::Round round,
+               std::span<const runtime::Message> in) override;
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<port::Port> output() const override;
+
+  /// The normalised (odd) parameter ∆' = 2k+1.
+  [[nodiscard]] static port::Port normalised_delta(port::Port max_degree) {
+    return max_degree % 2 == 1 ? max_degree : max_degree + 1;
+  }
+
+  /// Total schedule length for the (normalised) parameter.
+  [[nodiscard]] static runtime::Round schedule_length(port::Port max_degree) {
+    const auto d = static_cast<runtime::Round>(normalised_delta(max_degree));
+    return 3 + 3 * d * d;  // 2 + d² + 2d(d−1) + 1 + 2d
+  }
+
+ private:
+  // Round classification.
+  struct Step {
+    enum class Kind {
+      kHello,
+      kClaim,
+      kPhase1,
+      kPhase2,
+      kMStatus,
+      kPhase3,
+    };
+    Kind kind = Kind::kHello;
+    port::Port i = 0;  // phase I: pair row;  phase II: degree class
+    port::Port j = 0;  // phase I: pair column
+    bool respond_half = false;  // phases II/III: propose vs respond half
+    bool block_start = false;   // phase II: first round of a degree block
+  };
+  [[nodiscard]] Step step_for(runtime::Round round) const;
+
+  void phase2_send(const Step& step, std::span<runtime::Message> out);
+  void phase2_receive(const Step& step, std::span<const runtime::Message> in);
+
+  port::Port delta_;        // normalised ∆' (odd)
+  LabelView view_;
+  port::Port m_port_ = 0;   // my M edge's port (0 = M-free)
+  port::Port active_port_ = 0;  // phase I step state
+
+  // Phase II proposer state (valid within one degree block).
+  std::vector<port::Port> p2_eligible_;
+  std::size_t p2_cursor_ = 0;
+  bool p2_outstanding_ = false;
+  std::vector<port::Port> p2_proposals_in_;
+
+  // Phase III.
+  std::vector<bool> remote_m_covered_;
+  DoubleCoverEngine engine_;
+  bool engine_ready_ = false;
+
+  std::shared_ptr<BoundedPhaseStats> sink_;
+  bool halted_ = false;
+};
+
+class BoundedDegreeFactory final : public runtime::ProgramFactory {
+ public:
+  explicit BoundedDegreeFactory(
+      port::Port max_degree,
+      std::shared_ptr<BoundedPhaseStats> sink = nullptr)
+      : max_degree_(max_degree), sink_(std::move(sink)) {}
+  [[nodiscard]] std::unique_ptr<runtime::NodeProgram> create() const override {
+    return std::make_unique<BoundedDegreeProgram>(max_degree_, sink_);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "bounded-degree(delta=" + std::to_string(max_degree_) + ")";
+  }
+
+ private:
+  port::Port max_degree_;
+  std::shared_ptr<BoundedPhaseStats> sink_;
+};
+
+}  // namespace eds::algo

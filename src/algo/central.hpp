@@ -1,0 +1,42 @@
+// Centralised mirrors of the distributed algorithms.
+//
+// These run the exact same schedules as the node programs but with global
+// visibility, exposing intermediate state (the phase snapshots of Figures 8
+// and 9).  They serve two purposes: figure regeneration, and as independent
+// oracles — the test suite asserts that the distributed executions produce
+// bit-identical solutions.
+#pragma once
+
+#include "graph/edge_set.hpp"
+#include "port/labels.hpp"
+#include "port/ported_graph.hpp"
+
+namespace eds::algo {
+
+/// Intermediate and final state of Theorem 4's algorithm.
+struct OddRegularTrace {
+  graph::EdgeSet after_phase1;  ///< the spanning forest / edge cover
+  graph::EdgeSet after_phase2;  ///< the final star forest D
+};
+
+/// Centralised mirror of Theorem 4 (phases I and II over the M(i, j)
+/// schedule in lexicographic order).  Matches OddRegularProgram exactly.
+[[nodiscard]] OddRegularTrace central_odd_regular(const port::PortedGraph& pg);
+
+/// Centralised mirror of Theorem 3: all edges touching a port number 1.
+[[nodiscard]] graph::EdgeSet central_port_one(const port::PortedGraph& pg);
+
+/// Intermediate and final state of Theorem 5's algorithm.
+struct BoundedDegreeTrace {
+  graph::EdgeSet m_after_phase1;  ///< the matching M after the M(i,j) sweep
+  graph::EdgeSet m_after_phase2;  ///< M after the B_i proposal rounds
+  graph::EdgeSet p;               ///< the 2-matching P from phase III
+  graph::EdgeSet solution;        ///< D = M ∪ P
+};
+
+/// Centralised mirror of Theorem 5's A(∆) (the family parameter is
+/// normalised to odd internally, matching BoundedDegreeProgram).
+[[nodiscard]] BoundedDegreeTrace central_bounded_degree(
+    const port::PortedGraph& pg, port::Port max_degree);
+
+}  // namespace eds::algo

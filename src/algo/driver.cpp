@@ -1,0 +1,95 @@
+#include "algo/driver.hpp"
+
+#include "algo/all_edges.hpp"
+#include "algo/bounded_degree.hpp"
+#include "algo/double_cover.hpp"
+#include "algo/odd_regular.hpp"
+#include "algo/port_one.hpp"
+#include "util/error.hpp"
+
+namespace eds::algo {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAllEdges:
+      return "all-edges";
+    case Algorithm::kPortOne:
+      return "port-one (Thm 3)";
+    case Algorithm::kOddRegular:
+      return "odd-regular (Thm 4)";
+    case Algorithm::kBoundedDegree:
+      return "bounded-degree (Thm 5)";
+    case Algorithm::kDoubleCover:
+      return "double-cover 2-matching";
+  }
+  throw InvalidArgument("algorithm_name: unknown algorithm");
+}
+
+std::unique_ptr<runtime::ProgramFactory> make_factory(Algorithm algorithm,
+                                                      port::Port param) {
+  switch (algorithm) {
+    case Algorithm::kAllEdges:
+      return std::make_unique<AllEdgesFactory>();
+    case Algorithm::kPortOne:
+      return std::make_unique<PortOneFactory>();
+    case Algorithm::kOddRegular:
+      if (param == 0) {
+        throw InvalidArgument("make_factory: kOddRegular needs d");
+      }
+      return std::make_unique<OddRegularFactory>(param);
+    case Algorithm::kBoundedDegree:
+      if (param == 0) {
+        throw InvalidArgument("make_factory: kBoundedDegree needs max degree");
+      }
+      if (param == 1) return std::make_unique<AllEdgesFactory>();
+      return std::make_unique<BoundedDegreeFactory>(param);
+    case Algorithm::kDoubleCover:
+      if (param == 0) {
+        throw InvalidArgument("make_factory: kDoubleCover needs max degree");
+      }
+      return std::make_unique<DoubleCoverFactory>(param);
+  }
+  throw InvalidArgument("make_factory: unknown algorithm");
+}
+
+EdsOutcome run_algorithm(const port::PortedGraph& pg, Algorithm algorithm,
+                         port::Port param) {
+  if (param == 0) {
+    const auto& g = pg.graph();
+    switch (algorithm) {
+      case Algorithm::kOddRegular: {
+        const auto d = g.max_degree();
+        if (!g.is_regular(d)) {
+          throw InvalidArgument("run_algorithm: graph is not regular");
+        }
+        param = static_cast<port::Port>(d);
+        break;
+      }
+      case Algorithm::kBoundedDegree:
+      case Algorithm::kDoubleCover:
+        param = static_cast<port::Port>(std::max<std::size_t>(
+            g.max_degree(), 1));
+        break;
+      default:
+        break;
+    }
+  }
+  const auto factory = make_factory(algorithm, param);
+  const auto result = runtime::run_synchronous(pg.ports(), *factory);
+  EdsOutcome outcome;
+  outcome.solution = runtime::validated_edge_set(pg, result);
+  outcome.stats = result.stats;
+  return outcome;
+}
+
+Recommendation recommended_for(const graph::SimpleGraph& g) {
+  const auto delta = g.max_degree();
+  if (delta <= 1) return {Algorithm::kAllEdges, 0};
+  if (g.is_regular(delta)) {
+    if (delta % 2 == 0) return {Algorithm::kPortOne, 0};
+    return {Algorithm::kOddRegular, static_cast<port::Port>(delta)};
+  }
+  return {Algorithm::kBoundedDegree, static_cast<port::Port>(delta)};
+}
+
+}  // namespace eds::algo

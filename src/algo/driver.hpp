@@ -1,0 +1,58 @@
+// High-level entry points: pick an algorithm, run it on a ported graph,
+// validate the output, and return the solution with execution statistics.
+//
+// This is the public API a downstream user of the library is expected to
+// call; everything else (programs, runner, verifiers) is available for
+// finer-grained use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/edge_set.hpp"
+#include "port/ported_graph.hpp"
+#include "runtime/outputs.hpp"
+#include "runtime/runner.hpp"
+
+namespace eds::algo {
+
+/// The algorithms of the paper (plus the standalone phase III subroutine).
+enum class Algorithm {
+  kAllEdges,      ///< trivial ∆ = 1 algorithm (Table 1 row 3)
+  kPortOne,       ///< Theorem 3: O(1), 4 − 2/d on d-regular graphs
+  kOddRegular,    ///< Theorem 4: O(d²), 4 − 6/(d+1) on odd-d-regular graphs
+  kBoundedDegree, ///< Theorem 5: O(∆²), 4 − 1/k on max-degree-∆ graphs
+  kDoubleCover,   ///< Polishchuk–Suomela 2-matching (not an EDS by itself
+                  ///< in general; dominates all edges and is a 2-matching)
+};
+
+[[nodiscard]] std::string algorithm_name(Algorithm a);
+
+/// Result of one distributed execution.
+struct EdsOutcome {
+  graph::EdgeSet solution;   ///< validated, internally consistent edge set
+  runtime::RunStats stats;   ///< rounds and message counts
+};
+
+/// Builds the factory for `algorithm`; `param` is d for kOddRegular and ∆
+/// for kBoundedDegree / kDoubleCover (ignored for the others).
+[[nodiscard]] std::unique_ptr<runtime::ProgramFactory> make_factory(
+    Algorithm algorithm, port::Port param = 0);
+
+/// Runs `algorithm` on `pg` and returns the validated solution.
+/// `param` defaults (0) resolve from the graph: d-regular degree for
+/// kOddRegular, max degree for kBoundedDegree / kDoubleCover.
+[[nodiscard]] EdsOutcome run_algorithm(const port::PortedGraph& pg,
+                                       Algorithm algorithm,
+                                       port::Port param = 0);
+
+/// The Table 1 row selector: the algorithm (and parameter) the paper
+/// prescribes for `g` — kAllEdges for max degree <= 1, kPortOne for
+/// even-regular, kOddRegular for odd-regular, kBoundedDegree otherwise.
+struct Recommendation {
+  Algorithm algorithm = Algorithm::kBoundedDegree;
+  port::Port param = 0;
+};
+[[nodiscard]] Recommendation recommended_for(const graph::SimpleGraph& g);
+
+}  // namespace eds::algo

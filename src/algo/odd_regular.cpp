@@ -1,0 +1,154 @@
+#include "algo/odd_regular.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace eds::algo {
+
+std::vector<std::pair<port::Port, port::Port>> pair_schedule(port::Port d,
+                                                             PairOrder order) {
+  std::vector<std::pair<port::Port, port::Port>> pairs;
+  pairs.reserve(static_cast<std::size_t>(d) * d);
+  for (port::Port i = 1; i <= d; ++i) {
+    for (port::Port j = 1; j <= d; ++j) pairs.emplace_back(i, j);
+  }
+  switch (order) {
+    case PairOrder::kLexicographic:
+      break;
+    case PairOrder::kDiagonal:
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) {
+                  return std::pair(a.first + a.second, a.first) <
+                         std::pair(b.first + b.second, b.first);
+                });
+      break;
+    case PairOrder::kReverse:
+      std::reverse(pairs.begin(), pairs.end());
+      break;
+  }
+  return pairs;
+}
+
+OddRegularProgram::OddRegularProgram(port::Port d, PairOrder order)
+    : d_(d), schedule_(pair_schedule(d, order)) {
+  if (d_ % 2 == 0) {
+    throw InvalidArgument("OddRegularProgram: d must be odd");
+  }
+}
+
+void OddRegularProgram::start(port::Port degree) {
+  if (degree != d_) {
+    throw ExecutionError(
+        "OddRegularProgram: node degree differs from the family parameter d");
+  }
+  view_.degree = degree;
+  view_.remote_port.assign(degree, 0);
+  view_.remote_degree.assign(degree, 0);
+  view_.dn_claimed.assign(degree, false);
+}
+
+OddRegularProgram::Step OddRegularProgram::step_for(
+    runtime::Round round) const {
+  const auto d = static_cast<runtime::Round>(d_);
+  if (round <= 2) return {Step::Phase::kSetup, 0, 0};
+  if (round <= 2 + d * d) {
+    const auto& [i, j] = schedule_[round - 3];  // 0-based step index
+    return {Step::Phase::kAdd, i, j};
+  }
+  if (round <= 2 + 2 * d * d) {
+    const auto& [i, j] = schedule_[round - 3 - d * d];
+    return {Step::Phase::kRemove, i, j};
+  }
+  return {Step::Phase::kDone, 0, 0};
+}
+
+void OddRegularProgram::send(runtime::Round round,
+                             std::span<runtime::Message> out) {
+  const auto step = step_for(round);
+  active_port_ = 0;
+  if (round == 1) {
+    for (port::Port i = 1; i <= view_.degree; ++i) {
+      out[i - 1] = runtime::msg(kTagHello, static_cast<std::int32_t>(i),
+                                static_cast<std::int32_t>(view_.degree));
+    }
+    return;
+  }
+  if (round == 2) {
+    // By Lemma 1 every odd-degree node has a distinguishable neighbour.
+    EDS_ENSURE(view_.dn_port != 0,
+               "odd-degree node without distinguishable neighbour");
+    out[view_.dn_port - 1] = runtime::msg(kTagDnClaim);
+    return;
+  }
+
+  if (step.phase == Step::Phase::kAdd) {
+    active_port_ = view_.mij_active_port(step.i, step.j);
+    if (active_port_ != 0) {
+      out[active_port_ - 1] = runtime::msg(kTagStatus, covered_ ? 1 : 0);
+    }
+    return;
+  }
+
+  if (step.phase == Step::Phase::kRemove) {
+    const auto candidate = view_.mij_active_port(step.i, step.j);
+    if (candidate != 0 && d_ports_.count(candidate) > 0) {
+      active_port_ = candidate;
+      // Covered by D \ {e} iff I have another incident D edge.
+      const bool covered_without = d_ports_.size() >= 2;
+      out[active_port_ - 1] = runtime::msg(kTagStatus, covered_without ? 1 : 0);
+    }
+    return;
+  }
+}
+
+void OddRegularProgram::receive(runtime::Round round,
+                                std::span<const runtime::Message> in) {
+  const auto step = step_for(round);
+  if (round == 1) {
+    for (port::Port i = 1; i <= view_.degree; ++i) {
+      view_.record_hello(i, in[i - 1]);
+    }
+    view_.compute_dn();
+    return;
+  }
+  if (round == 2) {
+    for (port::Port i = 1; i <= view_.degree; ++i) {
+      view_.record_claim(i, in[i - 1]);
+    }
+    return;
+  }
+
+  if (step.phase == Step::Phase::kAdd && active_port_ != 0) {
+    const auto& their = in[active_port_ - 1];
+    EDS_ENSURE(their.tag == kTagStatus,
+               "phase I: expected a status message from the partner");
+    const bool their_covered = their.arg[0] != 0;
+    // "If both endpoints of e are already covered by D, we ignore e,
+    //  otherwise we add e to D."
+    if (!(covered_ && their_covered)) {
+      d_ports_.insert(active_port_);
+      covered_ = true;
+    }
+  }
+
+  if (step.phase == Step::Phase::kRemove && active_port_ != 0) {
+    const auto& their = in[active_port_ - 1];
+    EDS_ENSURE(their.tag == kTagStatus,
+               "phase II: expected a status message from the partner");
+    const bool mine = d_ports_.size() >= 2;
+    const bool theirs = their.arg[0] != 0;
+    // "If both endpoints of e are covered by D \ {e}, remove e from D."
+    if (mine && theirs) {
+      d_ports_.erase(active_port_);
+    }
+  }
+
+  if (round >= schedule_length(d_)) halted_ = true;
+}
+
+std::vector<port::Port> OddRegularProgram::output() const {
+  return {d_ports_.begin(), d_ports_.end()};
+}
+
+}  // namespace eds::algo

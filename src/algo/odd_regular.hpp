@@ -1,0 +1,99 @@
+// Theorem 4: the O(d²)-time factor 4 − 6/(d+1) algorithm for d-regular
+// graphs with d odd.
+//
+// Schedule (all nodes compute it locally from d, so no termination
+// detection is needed):
+//   round 1            — hello: learn the remote port behind each port
+//                        (label pairs), then pick the distinguishable
+//                        neighbour (DN; exists for every node since d is
+//                        odd — Lemma 1)
+//   round 2            — tell the DN it was chosen
+//   rounds 3 … 2+d²    — phase I: sweep pairs (i, j) lexicographically; the
+//                        two endpoints of each M(i, j) edge exchange covered
+//                        bits and add the edge unless both are covered
+//                        (the growing D is a forest and an edge cover)
+//   rounds 3+d² … 2+2d² — phase II: same sweep; an edge e ∈ D ∩ M(i, j) is
+//                        removed when both endpoints are covered by D∖{e}
+//                        (afterwards D is a star forest, |D| ≤ d|V|/(d+1))
+// Both endpoints decide from the same exchanged bits, so membership of D
+// stays consistent; within one step M(i, j) is a matching (Lemma 2), so the
+// parallel decisions do not interfere.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "algo/common.hpp"
+#include "runtime/program.hpp"
+
+namespace eds::algo {
+
+/// The order in which the (i, j) pairs are swept.  The paper processes them
+/// "in an arbitrary order" — correctness must not depend on the choice, and
+/// the test suite verifies the guarantee under every order here.  All nodes
+/// must of course agree on the order (it is a family parameter).
+enum class PairOrder {
+  kLexicographic,  ///< (1,1), (1,2), ..., (d,d)
+  kDiagonal,       ///< sorted by (i+j, i): the anti-diagonal sweep
+  kReverse,        ///< (d,d), (d,d-1), ..., (1,1)
+};
+
+/// The d² pairs (i, j) in the given order.
+[[nodiscard]] std::vector<std::pair<port::Port, port::Port>> pair_schedule(
+    port::Port d, PairOrder order);
+
+class OddRegularProgram final : public runtime::NodeProgram {
+ public:
+  /// `d` is the family parameter; every node's degree must equal it and it
+  /// must be odd.
+  explicit OddRegularProgram(port::Port d,
+                             PairOrder order = PairOrder::kLexicographic);
+
+  void start(port::Port degree) override;
+  void send(runtime::Round round, std::span<runtime::Message> out) override;
+  void receive(runtime::Round round,
+               std::span<const runtime::Message> in) override;
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<port::Port> output() const override;
+
+  /// Total rounds the schedule takes for parameter d.
+  [[nodiscard]] static runtime::Round schedule_length(port::Port d) {
+    return 2 + 2 * static_cast<runtime::Round>(d) * d;
+  }
+
+ private:
+  struct Step {
+    enum class Phase { kSetup, kAdd, kRemove, kDone };
+    Phase phase = Phase::kSetup;
+    port::Port i = 0;
+    port::Port j = 0;
+  };
+  [[nodiscard]] Step step_for(runtime::Round round) const;
+
+  port::Port d_;
+  std::vector<std::pair<port::Port, port::Port>> schedule_;
+  LabelView view_;
+  std::set<port::Port> d_ports_;  // ports of my incident D edges
+  bool covered_ = false;          // incident to some D edge
+  port::Port active_port_ = 0;    // active port of the current step
+  bool halted_ = false;
+};
+
+class OddRegularFactory final : public runtime::ProgramFactory {
+ public:
+  explicit OddRegularFactory(port::Port d,
+                             PairOrder order = PairOrder::kLexicographic)
+      : d_(d), order_(order) {}
+  [[nodiscard]] std::unique_ptr<runtime::NodeProgram> create() const override {
+    return std::make_unique<OddRegularProgram>(d_, order_);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "odd-regular(d=" + std::to_string(d_) + ")";
+  }
+
+ private:
+  port::Port d_;
+  PairOrder order_;
+};
+
+}  // namespace eds::algo

@@ -1,0 +1,37 @@
+#include "analysis/ratio.hpp"
+
+#include "util/error.hpp"
+
+namespace eds::analysis {
+
+Fraction approximation_ratio(std::size_t solution, std::size_t optimum) {
+  if (optimum == 0) {
+    if (solution == 0) return Fraction(1);
+    throw InvalidArgument("approximation_ratio: optimum is zero");
+  }
+  return Fraction(static_cast<std::int64_t>(solution),
+                  static_cast<std::int64_t>(optimum));
+}
+
+Fraction paper_bound_regular(std::size_t d) {
+  if (d == 0) throw InvalidArgument("paper_bound_regular: d must be positive");
+  const auto dd = static_cast<std::int64_t>(d);
+  if (d % 2 == 1) {
+    return Fraction(4) - Fraction(6, dd + 1);
+  }
+  return Fraction(4) - Fraction(2, dd);
+}
+
+Fraction paper_bound_bounded(std::size_t max_degree) {
+  if (max_degree == 0) {
+    throw InvalidArgument("paper_bound_bounded: max degree must be positive");
+  }
+  if (max_degree == 1) return Fraction(1);
+  const auto dd = static_cast<std::int64_t>(max_degree);
+  if (max_degree % 2 == 1) {
+    return Fraction(4) - Fraction(2, dd - 1);
+  }
+  return Fraction(4) - Fraction(2, dd);
+}
+
+}  // namespace eds::analysis

@@ -1,0 +1,25 @@
+// Approximation-ratio bookkeeping, kept exact.
+//
+// The paper's tightness results are equalities between rationals, so ratios
+// are represented as eds::Fraction; paper_bound_* return the Table 1 values.
+#pragma once
+
+#include <cstddef>
+
+#include "util/fraction.hpp"
+
+namespace eds::analysis {
+
+/// |solution| / |optimum| as an exact fraction; optimum must be positive
+/// unless the solution is also empty (ratio 1 by convention).
+[[nodiscard]] Fraction approximation_ratio(std::size_t solution,
+                                           std::size_t optimum);
+
+/// Table 1, d-regular row: 4 - 6/(d+1) for odd d, 4 - 2/d for even d.
+[[nodiscard]] Fraction paper_bound_regular(std::size_t d);
+
+/// Table 1, bounded-degree row: 1 for ∆ = 1, 4 - 2/(∆-1) for odd ∆ >= 3,
+/// 4 - 2/∆ for even ∆.  (Equivalently α(2k) = α(2k+1) = 4 - 1/k.)
+[[nodiscard]] Fraction paper_bound_bounded(std::size_t max_degree);
+
+}  // namespace eds::analysis

@@ -1,0 +1,102 @@
+#include "analysis/verify.hpp"
+
+#include <vector>
+
+namespace eds::analysis {
+
+EdgeSet dominated_edges(const SimpleGraph& g, const EdgeSet& s) {
+  std::vector<bool> node_covered(g.num_nodes(), false);
+  for (const auto e : s.to_vector()) {
+    node_covered[g.edge(e).u] = true;
+    node_covered[g.edge(e).v] = true;
+  }
+  EdgeSet out(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (node_covered[g.edge(e).u] || node_covered[g.edge(e).v]) out.insert(e);
+  }
+  return out;
+}
+
+bool is_edge_dominating_set(const SimpleGraph& g, const EdgeSet& s) {
+  return dominated_edges(g, s).size() == g.num_edges();
+}
+
+bool is_matching(const SimpleGraph& g, const EdgeSet& s) {
+  return is_k_matching(g, s, 1);
+}
+
+bool is_k_matching(const SimpleGraph& g, const EdgeSet& s, std::size_t k) {
+  std::vector<std::size_t> deg(g.num_nodes(), 0);
+  for (const auto e : s.to_vector()) {
+    if (++deg[g.edge(e).u] > k) return false;
+    if (++deg[g.edge(e).v] > k) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const SimpleGraph& g, const EdgeSet& s) {
+  if (!is_matching(g, s)) return false;
+  // A matching is maximal iff it dominates every edge.
+  return is_edge_dominating_set(g, s);
+}
+
+bool is_edge_cover(const SimpleGraph& g, const EdgeSet& s) {
+  std::vector<bool> node_covered(g.num_nodes(), false);
+  for (const auto e : s.to_vector()) {
+    node_covered[g.edge(e).u] = true;
+    node_covered[g.edge(e).v] = true;
+  }
+  for (bool covered : node_covered) {
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool is_forest(const SimpleGraph& g, const EdgeSet& s) {
+  // Union-find over the member edges.
+  std::vector<graph::NodeId> parent(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) parent[v] = v;
+  auto find = [&parent](graph::NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto e : s.to_vector()) {
+    const auto ru = find(g.edge(e).u);
+    const auto rv = find(g.edge(e).v);
+    if (ru == rv) return false;
+    parent[ru] = rv;
+  }
+  return true;
+}
+
+bool is_star_forest(const SimpleGraph& g, const EdgeSet& s) {
+  if (!is_forest(g, s)) return false;
+  // In a forest, "every component is a star" is equivalent to "every edge
+  // has an endpoint of set-degree 1" (no path of three edges).
+  std::vector<std::size_t> deg(g.num_nodes(), 0);
+  for (const auto e : s.to_vector()) {
+    ++deg[g.edge(e).u];
+    ++deg[g.edge(e).v];
+  }
+  for (const auto e : s.to_vector()) {
+    if (deg[g.edge(e).u] > 1 && deg[g.edge(e).v] > 1) return false;
+  }
+  return true;
+}
+
+bool node_disjoint(const SimpleGraph& g, const EdgeSet& a, const EdgeSet& b) {
+  std::vector<bool> in_a(g.num_nodes(), false);
+  for (const auto e : a.to_vector()) {
+    in_a[g.edge(e).u] = true;
+    in_a[g.edge(e).v] = true;
+  }
+  for (const auto e : b.to_vector()) {
+    if (in_a[g.edge(e).u] || in_a[g.edge(e).v]) return false;
+  }
+  return true;
+}
+
+}  // namespace eds::analysis

@@ -1,0 +1,50 @@
+// Solution verifiers.
+//
+// Every solution produced anywhere in the library (distributed algorithms,
+// baselines, exact solvers, constructions) is an EdgeSet; the predicates here
+// check the structural claims the paper makes about them.  The verifiers are
+// deliberately independent of the solvers — they recompute everything from
+// the graph — so they double as test oracles.
+#pragma once
+
+#include "graph/edge_set.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace eds::analysis {
+
+using graph::EdgeSet;
+using graph::SimpleGraph;
+
+/// Edges dominated by `s`: members of `s` and edges adjacent to a member.
+[[nodiscard]] EdgeSet dominated_edges(const SimpleGraph& g, const EdgeSet& s);
+
+/// True when every edge of `g` is dominated by `s`.
+[[nodiscard]] bool is_edge_dominating_set(const SimpleGraph& g,
+                                          const EdgeSet& s);
+
+/// True when no two members share an endpoint.
+[[nodiscard]] bool is_matching(const SimpleGraph& g, const EdgeSet& s);
+
+/// True when every node is incident to at most k members.
+[[nodiscard]] bool is_k_matching(const SimpleGraph& g, const EdgeSet& s,
+                                 std::size_t k);
+
+/// True when `s` is a matching and no edge can be added to it.
+[[nodiscard]] bool is_maximal_matching(const SimpleGraph& g, const EdgeSet& s);
+
+/// True when every node of `g` is covered by some member edge.
+[[nodiscard]] bool is_edge_cover(const SimpleGraph& g, const EdgeSet& s);
+
+/// True when the subgraph (V, s) is acyclic.
+[[nodiscard]] bool is_forest(const SimpleGraph& g, const EdgeSet& s);
+
+/// True when every component of the subgraph (V, s) is a star (including
+/// single edges); equivalently, s is a forest with no path of three edges.
+[[nodiscard]] bool is_star_forest(const SimpleGraph& g, const EdgeSet& s);
+
+/// True when the two sets share no node (no member of `a` touches a member
+/// of `b`).
+[[nodiscard]] bool node_disjoint(const SimpleGraph& g, const EdgeSet& a,
+                                 const EdgeSet& b);
+
+}  // namespace eds::analysis

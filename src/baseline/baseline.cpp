@@ -1,0 +1,149 @@
+#include "baseline/baseline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/verify.hpp"
+#include "util/error.hpp"
+
+namespace eds::baseline {
+
+namespace {
+
+EdgeSet maximal_matching_in_order(const SimpleGraph& g,
+                                  const std::vector<graph::EdgeId>& order) {
+  std::vector<bool> matched(g.num_nodes(), false);
+  EdgeSet out(g.num_edges());
+  for (const auto e : order) {
+    const auto& edge = g.edge(e);
+    if (!matched[edge.u] && !matched[edge.v]) {
+      matched[edge.u] = matched[edge.v] = true;
+      out.insert(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EdgeSet greedy_maximal_matching(const SimpleGraph& g) {
+  std::vector<graph::EdgeId> order(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  return maximal_matching_in_order(g, order);
+}
+
+EdgeSet random_maximal_matching(const SimpleGraph& g, Rng& rng) {
+  std::vector<graph::EdgeId> order(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  rng.shuffle(order);
+  return maximal_matching_in_order(g, order);
+}
+
+EdgeSet greedy_eds(const SimpleGraph& g) {
+  EdgeSet out(g.num_edges());
+  std::vector<bool> node_covered(g.num_nodes(), false);
+  auto edge_dominated = [&](graph::EdgeId e) {
+    return node_covered[g.edge(e).u] || node_covered[g.edge(e).v];
+  };
+
+  for (;;) {
+    // Count, for each candidate edge, the undominated edges it would newly
+    // dominate (including itself).
+    graph::EdgeId best_edge = 0;
+    std::size_t best_gain = 0;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      std::size_t gain = edge_dominated(e) ? 0 : 1;
+      for (const auto endpoint : {edge.u, edge.v}) {
+        if (node_covered[endpoint]) continue;
+        for (const auto& inc : g.incidences(endpoint)) {
+          if (inc.edge != e && !edge_dominated(inc.edge)) ++gain;
+        }
+      }
+      // Adjacent undominated edges joining the two endpoints of e are not
+      // double counted: the inner loops skip e itself and any common edge
+      // would be e.  Edges between N(u) and N(v) are distinct.
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_edge = e;
+      }
+    }
+    if (best_gain == 0) break;
+    out.insert(best_edge);
+    node_covered[g.edge(best_edge).u] = true;
+    node_covered[g.edge(best_edge).v] = true;
+  }
+  EDS_ENSURE(analysis::is_edge_dominating_set(g, out),
+             "greedy_eds produced a non-dominating set");
+  return out;
+}
+
+EdgeSet independent_eds_from(const SimpleGraph& g, const EdgeSet& eds) {
+  if (!analysis::is_edge_dominating_set(g, eds)) {
+    throw InvalidArgument("independent_eds_from: input is not an EDS");
+  }
+  EdgeSet d = eds;
+  std::vector<std::size_t> set_degree(g.num_nodes(), 0);
+  for (const auto e : d.to_vector()) {
+    ++set_degree[g.edge(e).u];
+    ++set_degree[g.edge(e).v];
+  }
+
+  // While some node v has two member edges e = {v,a}, f = {v,b}: drop f.
+  // Node v stays covered by e.  Node b may become uncovered; if it has an
+  // uncovered neighbour c, add {b,c} (both endpoints were uncovered, so the
+  // addition creates no new conflicts); otherwise all edges at b remain
+  // dominated through their other endpoints.  The total endpoint excess
+  // Σ max(0, deg_D(v) − 1) strictly decreases, so the loop terminates, and
+  // the set size never grows.
+  const auto no_node = static_cast<graph::NodeId>(g.num_nodes());
+  const auto no_edge = static_cast<graph::EdgeId>(g.num_edges());
+  for (;;) {
+    graph::NodeId centre = no_node;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (set_degree[v] >= 2) {
+        centre = v;
+        break;
+      }
+    }
+    if (centre == no_node) break;
+
+    graph::EdgeId f = no_edge;
+    bool skipped_first = false;
+    for (const auto& inc : g.incidences(centre)) {
+      if (!d.contains(inc.edge)) continue;
+      if (!skipped_first) {
+        skipped_first = true;  // keep the first member edge at the centre
+        continue;
+      }
+      f = inc.edge;
+      break;
+    }
+    EDS_ENSURE(f != no_edge, "independent_eds_from: lost member edge");
+
+    const auto b = g.edge(f).other(centre);
+    d.erase(f);
+    --set_degree[centre];
+    --set_degree[b];
+
+    if (set_degree[b] == 0) {
+      // b lost its only cover; re-cover it if some neighbour is uncovered.
+      for (const auto& inc : g.incidences(b)) {
+        if (set_degree[inc.neighbour] == 0) {
+          d.insert(inc.edge);
+          ++set_degree[b];
+          ++set_degree[inc.neighbour];
+          break;
+        }
+      }
+    }
+  }
+
+  EDS_ENSURE(analysis::is_maximal_matching(g, d),
+             "independent_eds_from: result is not a maximal matching");
+  EDS_ENSURE(d.size() <= eds.size(),
+             "independent_eds_from: result grew beyond the input EDS");
+  return d;
+}
+
+}  // namespace eds::baseline

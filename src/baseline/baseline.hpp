@@ -1,0 +1,36 @@
+// Centralised baselines and the classical reductions of Section 1.1.
+//
+// * Any maximal matching is a 2-approximate minimum EDS — greedy and
+//   randomised maximal matchings are the standard comparators.
+// * Given any EDS D, a maximal matching of size at most |D| can be
+//   constructed (Yannakakis–Gavril / Allan–Laskar); independent_eds_from
+//   implements that conversion, which is also how "minimum maximal matching
+//   = minimum EDS" is proved.
+#pragma once
+
+#include "graph/edge_set.hpp"
+#include "graph/simple_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::baseline {
+
+using graph::EdgeSet;
+using graph::SimpleGraph;
+
+/// Maximal matching built by scanning edges in id order.
+[[nodiscard]] EdgeSet greedy_maximal_matching(const SimpleGraph& g);
+
+/// Maximal matching built by scanning edges in a seeded random order.
+[[nodiscard]] EdgeSet random_maximal_matching(const SimpleGraph& g, Rng& rng);
+
+/// Greedy EDS heuristic: repeatedly add the edge that dominates the most
+/// currently-undominated edges (ties by edge id).
+[[nodiscard]] EdgeSet greedy_eds(const SimpleGraph& g);
+
+/// Converts an arbitrary edge dominating set into a maximal matching of no
+/// greater size (Section 1.1 of the paper).  Throws InvalidArgument if
+/// `eds` is not an edge dominating set.
+[[nodiscard]] EdgeSet independent_eds_from(const SimpleGraph& g,
+                                           const EdgeSet& eds);
+
+}  // namespace eds::baseline

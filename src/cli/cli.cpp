@@ -1,0 +1,379 @@
+#include "cli/cli.hpp"
+
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "factor/two_factor.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "lb/lower_bounds.hpp"
+#include "port/io.hpp"
+#include "port/ported_graph.hpp"
+#include "port/views.hpp"
+#include "runtime/outputs.hpp"
+#include "util/rng.hpp"
+
+namespace eds::cli {
+
+namespace {
+
+/// Minimal argument cracker: positional args plus --key [value] options.
+class Args {
+ public:
+  explicit Args(const std::vector<std::string>& raw) {
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i].rfind("--", 0) == 0) {
+        const auto key = raw[i].substr(2);
+        if (i + 1 < raw.size() && raw[i + 1].rfind("--", 0) != 0) {
+          options_[key] = raw[i + 1];
+          ++i;
+        } else {
+          options_[key] = "";
+        }
+      } else {
+        positional_.push_back(raw[i]);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    return std::stoull(it->second);
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+void usage(std::ostream& out) {
+  out << "edsim — distributed edge dominating sets (Suomela, PODC 2010)\n"
+         "\n"
+         "usage: edsim <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  generate <family> [args] [--seed S]\n"
+         "      families: cycle N | path N | complete N | regular N D |\n"
+         "                grid R C | torus R C | hypercube DIM | petersen |\n"
+         "                tree N | bounded N DELTA M\n"
+         "      emits an edge list ('N M' header, one edge per line)\n"
+         "  solve [--algorithm auto|all-edges|port-one|odd-regular|\n"
+         "         bounded-degree|double-cover] [--param P]\n"
+         "        [--ports random|canonical|factor] [--seed S]\n"
+         "        [--exact] [--dot]\n"
+         "      reads an edge list from stdin, runs the algorithm, prints\n"
+         "      the solution, round/message counts, and (with --exact) the\n"
+         "      approximation ratio; --dot appends Graphviz output\n"
+         "  lower-bound <d>\n"
+         "      emits the Theorem 1 (even d) / Theorem 2 (odd d) adversarial\n"
+         "      instance in port-graph format, with its optimum\n"
+         "  run-portgraph --algorithm A [--param P]\n"
+         "      reads a port graph (multigraphs allowed) from stdin and\n"
+         "      prints each node's output port set\n"
+         "  views [--radius T]\n"
+         "      reads a port graph and prints view equivalence classes\n"
+         "  table1\n"
+         "      prints the measured Table 1 (worst-case tightness)\n"
+         "  help\n";
+}
+
+std::optional<algo::Algorithm> parse_algorithm(const std::string& name) {
+  if (name == "all-edges") return algo::Algorithm::kAllEdges;
+  if (name == "port-one") return algo::Algorithm::kPortOne;
+  if (name == "odd-regular") return algo::Algorithm::kOddRegular;
+  if (name == "bounded-degree") return algo::Algorithm::kBoundedDegree;
+  if (name == "double-cover") return algo::Algorithm::kDoubleCover;
+  return std::nullopt;
+}
+
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto& pos = args.positional();
+  if (pos.size() < 2) {
+    err << "generate: missing family\n";
+    return 2;
+  }
+  Rng rng(args.get_u64("seed", 1));
+  const auto& family = pos[1];
+  auto num = [&pos, &err](std::size_t index) -> std::optional<std::size_t> {
+    if (index >= pos.size()) {
+      err << "generate: missing numeric argument\n";
+      return std::nullopt;
+    }
+    return std::stoull(pos[index]);
+  };
+
+  graph::SimpleGraph g;
+  try {
+    if (family == "cycle") {
+      const auto n = num(2);
+      if (!n) return 2;
+      g = graph::cycle(*n);
+    } else if (family == "path") {
+      const auto n = num(2);
+      if (!n) return 2;
+      g = graph::path(*n);
+    } else if (family == "complete") {
+      const auto n = num(2);
+      if (!n) return 2;
+      g = graph::complete(*n);
+    } else if (family == "regular") {
+      const auto n = num(2);
+      const auto d = num(3);
+      if (!n || !d) return 2;
+      g = graph::random_regular(*n, *d, rng);
+    } else if (family == "grid") {
+      const auto r = num(2);
+      const auto c = num(3);
+      if (!r || !c) return 2;
+      g = graph::grid(*r, *c);
+    } else if (family == "torus") {
+      const auto r = num(2);
+      const auto c = num(3);
+      if (!r || !c) return 2;
+      g = graph::torus(*r, *c);
+    } else if (family == "hypercube") {
+      const auto dim = num(2);
+      if (!dim) return 2;
+      g = graph::hypercube(*dim);
+    } else if (family == "petersen") {
+      g = graph::petersen();
+    } else if (family == "tree") {
+      const auto n = num(2);
+      if (!n) return 2;
+      g = graph::random_tree(*n, rng);
+    } else if (family == "bounded") {
+      const auto n = num(2);
+      const auto delta = num(3);
+      const auto m = num(4);
+      if (!n || !delta || !m) return 2;
+      g = graph::random_bounded_degree(*n, *delta, *m, rng);
+    } else {
+      err << "generate: unknown family '" << family << "'\n";
+      return 2;
+    }
+  } catch (const Error& e) {
+    err << "generate: " << e.what() << '\n';
+    return 1;
+  }
+  graph::write_edge_list(out, g);
+  return 0;
+}
+
+int cmd_solve(const Args& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  graph::SimpleGraph g;
+  try {
+    g = graph::read_edge_list(in);
+  } catch (const Error& e) {
+    err << "solve: cannot read graph: " << e.what() << '\n';
+    return 1;
+  }
+
+  Rng rng(args.get_u64("seed", 1));
+  const auto ports_kind = args.get("ports", "random");
+  std::optional<port::PortedGraph> pg;
+  try {
+    if (ports_kind == "random") {
+      pg.emplace(port::with_random_ports(g, rng));
+    } else if (ports_kind == "canonical") {
+      pg.emplace(port::with_canonical_ports(g));
+    } else if (ports_kind == "factor") {
+      pg.emplace(factor::with_factor_ports(g));
+    } else {
+      err << "solve: unknown port strategy '" << ports_kind << "'\n";
+      return 2;
+    }
+  } catch (const Error& e) {
+    err << "solve: cannot number ports: " << e.what() << '\n';
+    return 1;
+  }
+
+  algo::Algorithm algorithm;
+  port::Port param = 0;
+  const auto algo_name = args.get("algorithm", "auto");
+  if (algo_name == "auto") {
+    const auto rec = algo::recommended_for(g);
+    algorithm = rec.algorithm;
+    param = rec.param;
+  } else {
+    const auto parsed = parse_algorithm(algo_name);
+    if (!parsed) {
+      err << "solve: unknown algorithm '" << algo_name << "'\n";
+      return 2;
+    }
+    algorithm = *parsed;
+    param = static_cast<port::Port>(args.get_u64("param", 0));
+  }
+
+  try {
+    const auto outcome = algo::run_algorithm(*pg, algorithm, param);
+    out << "graph: " << g.summary() << '\n';
+    out << "algorithm: " << algo::algorithm_name(algorithm) << '\n';
+    out << "rounds: " << outcome.stats.rounds
+        << "  messages: " << outcome.stats.messages_sent << '\n';
+    out << "solution: " << outcome.solution.size() << " edges\n";
+    for (const auto e : outcome.solution.to_vector()) {
+      out << "  " << g.edge(e).u << ' ' << g.edge(e).v << '\n';
+    }
+    const bool feasible = analysis::is_edge_dominating_set(g, outcome.solution);
+    out << "edge-dominating: " << (feasible ? "yes" : "NO") << '\n';
+    if (args.has("exact")) {
+      const auto optimum = exact::minimum_eds_size(g);
+      out << "optimum: " << optimum << '\n';
+      if (optimum > 0) {
+        out << "ratio: "
+            << analysis::approximation_ratio(outcome.solution.size(), optimum)
+            << '\n';
+      }
+    }
+    if (args.has("dot")) {
+      graph::write_dot(out, g, &outcome.solution, "solution");
+    }
+    return feasible ? 0 : 1;
+  } catch (const Error& e) {
+    err << "solve: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_lower_bound(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto& pos = args.positional();
+  if (pos.size() < 2) {
+    err << "lower-bound: missing degree\n";
+    return 2;
+  }
+  const auto d = static_cast<port::Port>(std::stoul(pos[1]));
+  try {
+    const auto inst =
+        d % 2 == 0 ? lb::even_lower_bound(d) : lb::odd_lower_bound(d);
+    out << "# Theorem " << (d % 2 == 0 ? 1 : 2) << " construction, d = " << d
+        << '\n';
+    out << "# optimum " << inst.optimal.size() << ", forced ratio "
+        << inst.forced_ratio << '\n';
+    port::write_port_graph(out, inst.ported.ports());
+    return 0;
+  } catch (const Error& e) {
+    err << "lower-bound: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_run_portgraph(const Args& args, std::istream& in, std::ostream& out,
+                      std::ostream& err) {
+  const auto parsed = parse_algorithm(args.get("algorithm", ""));
+  if (!parsed) {
+    err << "run-portgraph: --algorithm required (see 'edsim help')\n";
+    return 2;
+  }
+  try {
+    const auto g = port::read_port_graph(in);
+    auto param = static_cast<port::Port>(args.get_u64("param", 0));
+    if (param == 0) {
+      for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+        param = std::max(param, g.degree(v));
+      }
+      param = std::max<port::Port>(param, 1);
+    }
+    const auto factory = algo::make_factory(*parsed, param);
+    runtime::RunOptions options;
+    options.collect_messages = args.has("trace");
+    const auto result = runtime::run_synchronous(g, *factory, options);
+    const auto selected = runtime::validated_selection_size(g, result);
+    if (args.has("trace")) out << runtime::format_transcript(result);
+    out << "nodes: " << g.num_nodes() << "  rounds: " << result.stats.rounds
+        << "  selected edges: " << selected << '\n';
+    for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+      out << v << ':';
+      for (const auto p : result.outputs[v]) out << ' ' << p;
+      out << '\n';
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "run-portgraph: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_views(const Args& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  try {
+    const auto g = port::read_port_graph(in);
+    const auto classes =
+        args.has("radius")
+            ? port::view_classes(g, args.get_u64("radius", 0))
+            : port::stable_view_classes(g);
+    out << "classes: " << port::num_classes(classes) << '\n';
+    for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+      out << v << ": " << classes[v] << '\n';
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "views: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_table1(std::ostream& out) {
+  out << "d  bound  measured(worst-case)  tight\n";
+  for (port::Port d = 2; d <= 10; ++d) {
+    const auto inst =
+        d % 2 == 0 ? lb::even_lower_bound(d) : lb::odd_lower_bound(d);
+    const auto algorithm = d % 2 == 0 ? algo::Algorithm::kPortOne
+                                      : algo::Algorithm::kOddRegular;
+    const auto outcome = algo::run_algorithm(inst.ported, algorithm,
+                                             d % 2 == 0 ? 0 : d);
+    const auto ratio = analysis::approximation_ratio(outcome.solution.size(),
+                                                     inst.optimal.size());
+    out << d << "  " << inst.forced_ratio << "  " << ratio << "  "
+        << (ratio == inst.forced_ratio ? "yes" : "NO") << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    usage(out);
+    return args.empty() ? 2 : 0;
+  }
+  const Args parsed(args);
+  const auto& command = args[0];
+  try {
+    if (command == "generate") return cmd_generate(parsed, out, err);
+    if (command == "solve") return cmd_solve(parsed, in, out, err);
+    if (command == "lower-bound") return cmd_lower_bound(parsed, out, err);
+    if (command == "run-portgraph") {
+      return cmd_run_portgraph(parsed, in, out, err);
+    }
+    if (command == "views") return cmd_views(parsed, in, out, err);
+    if (command == "table1") return cmd_table1(out);
+  } catch (const std::exception& e) {
+    err << command << ": " << e.what() << '\n';
+    return 1;
+  }
+  err << "unknown command '" << command << "' (try 'edsim help')\n";
+  return 2;
+}
+
+}  // namespace eds::cli

@@ -1,0 +1,31 @@
+// The `edsim` command-line tool, as a testable library function.
+//
+// Subcommands:
+//   generate <family> [args] [--seed S]      emit an edge list
+//   solve [--algorithm A] [--ports P]
+//         [--seed S] [--exact] [--dot]       read an edge list, run an
+//                                            algorithm, report the solution
+//   lower-bound <d>                          emit a Theorem 1/2 instance
+//                                            (port-graph format + summary)
+//   run-portgraph --algorithm A --param P    run on a raw port graph
+//                                            (multigraphs welcome)
+//   views [--radius t]                       view equivalence classes of a
+//                                            port graph
+//   table1                                   print the measured Table 1
+//   help                                     usage
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eds::cli {
+
+/// Runs one CLI invocation; `args` excludes the program name.  Reads graph
+/// input from `in`, writes results to `out` and diagnostics to `err`.
+/// Returns the process exit code.
+[[nodiscard]] int run_cli(const std::vector<std::string>& args,
+                          std::istream& in, std::ostream& out,
+                          std::ostream& err);
+
+}  // namespace eds::cli

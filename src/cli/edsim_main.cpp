@@ -1,0 +1,13 @@
+// Entry point of the `edsim` command-line tool.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return eds::cli::run_cli(args, std::cin, std::cout, std::cerr);
+}

@@ -1,0 +1,153 @@
+#include "exact/exact_eds.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/verify.hpp"
+#include "baseline/baseline.hpp"
+#include "util/error.hpp"
+
+namespace eds::exact {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const SimpleGraph& g, const ExactOptions& options)
+      : g_(g),
+        options_(options),
+        matched_(g.num_nodes(), false),
+        chosen_(),
+        denominator_(2 * std::max<std::size_t>(g.max_degree(), 1) - 1) {
+    // Greedy seed gives both the initial upper bound and a feasible witness.
+    best_set_ = baseline::greedy_maximal_matching(g_);
+    best_ = best_set_.size();
+  }
+
+  EdgeSet solve() {
+    chosen_.reserve(best_);
+    recurse();
+    return best_set_;
+  }
+
+ private:
+  /// First edge (lowest id) with both endpoints unmatched, or m when none.
+  [[nodiscard]] graph::EdgeId first_free_edge() const {
+    for (graph::EdgeId e = 0; e < g_.num_edges(); ++e) {
+      const auto& edge = g_.edge(e);
+      if (!matched_[edge.u] && !matched_[edge.v]) return e;
+    }
+    return static_cast<graph::EdgeId>(g_.num_edges());
+  }
+
+  /// Number of edges not dominated by the current partial matching.
+  [[nodiscard]] std::size_t undominated_count() const {
+    std::size_t count = 0;
+    for (const auto& edge : g_.edges()) {
+      if (!matched_[edge.u] && !matched_[edge.v]) ++count;
+    }
+    return count;
+  }
+
+  void recurse() {
+    if (options_.max_search_nodes != 0 &&
+        ++search_nodes_ > options_.max_search_nodes) {
+      throw ExecutionError("minimum_maximal_matching: search-node budget exceeded");
+    }
+
+    const auto e = first_free_edge();
+    if (e == g_.num_edges()) {
+      // Every edge has a matched endpoint: the current matching is maximal.
+      if (chosen_.size() < best_) {
+        best_ = chosen_.size();
+        best_set_ = EdgeSet(g_.num_edges(), chosen_);
+      }
+      return;
+    }
+
+    // Bound: each further matching edge dominates at most 2∆ - 1 edges.
+    const std::size_t lower =
+        chosen_.size() + (undominated_count() + denominator_ - 1) / denominator_;
+    if (lower >= best_) return;
+
+    // Some maximal matching extending `chosen_` must dominate edge e, i.e.
+    // contain an edge incident to e's endpoints whose endpoints are free.
+    const auto& edge = g_.edge(e);
+    std::vector<graph::EdgeId> branches;
+    branches.push_back(e);
+    for (const auto endpoint : {edge.u, edge.v}) {
+      for (const auto& inc : g_.incidences(endpoint)) {
+        if (inc.edge == e) continue;
+        const auto& f = g_.edge(inc.edge);
+        if (!matched_[f.u] && !matched_[f.v]) branches.push_back(inc.edge);
+      }
+    }
+
+    for (const auto f : branches) {
+      const auto& fe = g_.edge(f);
+      matched_[fe.u] = matched_[fe.v] = true;
+      chosen_.push_back(f);
+      recurse();
+      chosen_.pop_back();
+      matched_[fe.u] = matched_[fe.v] = false;
+    }
+  }
+
+  const SimpleGraph& g_;
+  const ExactOptions& options_;
+  std::vector<bool> matched_;
+  std::vector<graph::EdgeId> chosen_;
+  std::size_t denominator_;
+  std::size_t best_ = 0;
+  EdgeSet best_set_;
+  std::size_t search_nodes_ = 0;
+};
+
+}  // namespace
+
+EdgeSet minimum_maximal_matching(const SimpleGraph& g,
+                                 const ExactOptions& options) {
+  if (g.num_edges() == 0) return EdgeSet(0);
+  auto result = BranchAndBound(g, options).solve();
+  EDS_ENSURE(analysis::is_maximal_matching(g, result),
+             "exact solver produced a non-maximal matching");
+  return result;
+}
+
+std::size_t minimum_eds_size(const SimpleGraph& g,
+                             const ExactOptions& options) {
+  return minimum_maximal_matching(g, options).size();
+}
+
+EdgeSet brute_force_minimum_eds(const SimpleGraph& g) {
+  const std::size_t m = g.num_edges();
+  if (m > 24) {
+    throw InvalidArgument("brute_force_minimum_eds: too many edges (max 24)");
+  }
+  if (m == 0) return EdgeSet(0);
+
+  std::uint32_t best_mask = 0;
+  int best_count = static_cast<int>(m) + 1;
+  const std::uint32_t limit = static_cast<std::uint32_t>(1u << m);
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const int count = std::popcount(mask);
+    if (count >= best_count) continue;
+    EdgeSet candidate(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      if (mask & (1u << e)) candidate.insert(static_cast<graph::EdgeId>(e));
+    }
+    if (analysis::is_edge_dominating_set(g, candidate)) {
+      best_mask = mask;
+      best_count = count;
+    }
+  }
+  EdgeSet out(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (best_mask & (1u << e)) out.insert(static_cast<graph::EdgeId>(e));
+  }
+  return out;
+}
+
+}  // namespace eds::exact

@@ -1,0 +1,45 @@
+// Exact minimum edge dominating sets.
+//
+// Section 1.1 of the paper: a minimum maximal matching is a minimum edge
+// dominating set (Yannakakis–Gavril / Allan–Laskar), so the exact solver
+// searches over maximal matchings with branch-and-bound.  The search
+// branches on the first edge whose endpoints are both unmatched: in any
+// maximal matching extending the current one, *some* edge incident to that
+// edge's endpoints (possibly itself) must be picked.  The bound combines the
+// greedy seed with ⌈undominated / (2∆ − 1)⌉, the paper's own counting bound.
+//
+// The solver is exponential in the worst case; it is intended for the
+// instance sizes the experiment harness uses for ground truth (up to roughly
+// 60–80 edges in practice).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/edge_set.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace eds::exact {
+
+using graph::EdgeSet;
+using graph::SimpleGraph;
+
+/// Options for the branch-and-bound search.
+struct ExactOptions {
+  /// Abort with ExecutionError after this many search nodes (0 = unlimited).
+  std::size_t max_search_nodes = 50'000'000;
+};
+
+/// A minimum maximal matching of `g` (equivalently, a minimum EDS).
+[[nodiscard]] EdgeSet minimum_maximal_matching(const SimpleGraph& g,
+                                               const ExactOptions& options = {});
+
+/// Size of a minimum edge dominating set of `g`.
+[[nodiscard]] std::size_t minimum_eds_size(const SimpleGraph& g,
+                                           const ExactOptions& options = {});
+
+/// Reference solver: enumerates *all* edge subsets in increasing size order
+/// and returns a smallest edge dominating set.  Exponential in m; requires
+/// m <= 24.  Used to cross-check the branch-and-bound solver in tests.
+[[nodiscard]] EdgeSet brute_force_minimum_eds(const SimpleGraph& g);
+
+}  // namespace eds::exact

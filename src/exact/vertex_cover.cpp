@@ -1,0 +1,121 @@
+#include "exact/vertex_cover.hpp"
+
+#include <algorithm>
+
+#include "analysis/verify.hpp"
+#include "util/error.hpp"
+
+namespace eds::exact {
+
+namespace {
+
+using graph::NodeId;
+using graph::SimpleGraph;
+
+class VcSearch {
+ public:
+  explicit VcSearch(const SimpleGraph& g) : g_(g), in_cover_(g.num_nodes()) {
+    // Greedy 2-approximation seeds the upper bound: take both endpoints of
+    // a maximal matching.
+    std::vector<bool> matched(g.num_nodes(), false);
+    for (const auto& e : g.edges()) {
+      if (!matched[e.u] && !matched[e.v]) {
+        matched[e.u] = matched[e.v] = true;
+        best_.push_back(e.u);
+        best_.push_back(e.v);
+      }
+    }
+  }
+
+  std::vector<NodeId> solve() {
+    recurse(0);
+    std::sort(best_.begin(), best_.end());
+    return best_;
+  }
+
+ private:
+  [[nodiscard]] bool edge_uncovered(const graph::Edge& e) const {
+    return !in_cover_[e.u] && !in_cover_[e.v];
+  }
+
+  void recurse(std::size_t chosen) {
+    if (chosen >= best_.size()) return;  // bound
+    // Find an uncovered edge; if none, the current set is a cover.
+    const graph::Edge* branch = nullptr;
+    std::size_t uncovered = 0;
+    for (const auto& e : g_.edges()) {
+      if (edge_uncovered(e)) {
+        ++uncovered;
+        if (branch == nullptr) branch = &e;
+      }
+    }
+    if (branch == nullptr) {
+      best_.clear();
+      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+        if (in_cover_[v]) best_.push_back(v);
+      }
+      return;
+    }
+    // Bound: each added node covers at most max_degree uncovered edges.
+    const auto delta = std::max<std::size_t>(g_.max_degree(), 1);
+    if (chosen + (uncovered + delta - 1) / delta >= best_.size()) return;
+
+    for (const auto endpoint : {branch->u, branch->v}) {
+      in_cover_[endpoint] = true;
+      recurse(chosen + 1);
+      in_cover_[endpoint] = false;
+    }
+  }
+
+  const SimpleGraph& g_;
+  std::vector<bool> in_cover_;
+  std::vector<NodeId> best_;
+};
+
+}  // namespace
+
+std::vector<NodeId> minimum_vertex_cover(const SimpleGraph& g) {
+  if (g.num_edges() == 0) return {};
+  auto cover = VcSearch(g).solve();
+  // Verify before returning: the solver is ground truth for tests.
+  std::vector<bool> in(g.num_nodes(), false);
+  for (const auto v : cover) in[v] = true;
+  for (const auto& e : g.edges()) {
+    EDS_ENSURE(in[e.u] || in[e.v], "minimum_vertex_cover: result not a cover");
+  }
+  return cover;
+}
+
+std::size_t minimum_vertex_cover_size(const SimpleGraph& g) {
+  return minimum_vertex_cover(g).size();
+}
+
+std::vector<NodeId> vertex_cover_from_two_matching(
+    const SimpleGraph& g, const graph::EdgeSet& two_matching) {
+  if (!analysis::is_k_matching(g, two_matching, 2)) {
+    throw InvalidArgument(
+        "vertex_cover_from_two_matching: input is not a 2-matching");
+  }
+  if (!analysis::is_edge_dominating_set(g, two_matching)) {
+    throw InvalidArgument(
+        "vertex_cover_from_two_matching: input does not dominate all edges");
+  }
+  std::vector<bool> in(g.num_nodes(), false);
+  for (const auto e : two_matching.to_vector()) {
+    in[g.edge(e).u] = true;
+    in[g.edge(e).v] = true;
+  }
+  std::vector<NodeId> cover;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) cover.push_back(v);
+  }
+  // Domination of every edge by the 2-matching means every edge has a
+  // covered endpoint: a vertex cover.
+  for (const auto& e : g.edges()) {
+    EDS_ENSURE(in[e.u] || in[e.v],
+               "vertex_cover_from_two_matching: corollary violated");
+  }
+  return cover;
+}
+
+}  // namespace eds::exact

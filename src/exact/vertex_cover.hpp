@@ -1,0 +1,32 @@
+// Exact minimum vertex cover, plus the vertex-cover corollary of the
+// double-cover 2-matching (Polishchuk–Suomela 2009, the paper's phase III
+// subroutine): the nodes covered by a 2-matching that dominates all edges
+// form a vertex cover of size at most 3 OPT_VC.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_set.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace eds::exact {
+
+/// A minimum vertex cover of `g`, found by branch-and-bound (branch on an
+/// uncovered edge: one of its endpoints must join the cover).  Intended for
+/// ground truth on small instances.
+[[nodiscard]] std::vector<graph::NodeId> minimum_vertex_cover(
+    const graph::SimpleGraph& g);
+
+/// Size of a minimum vertex cover.
+[[nodiscard]] std::size_t minimum_vertex_cover_size(
+    const graph::SimpleGraph& g);
+
+/// The nodes covered by `two_matching` — when the 2-matching dominates all
+/// edges (as phase III guarantees on its subgraph H), this is a vertex
+/// cover of size at most 3 OPT (each 2-matching component is a path or
+/// cycle; chargeable against any cover).  Throws InvalidArgument when the
+/// input does not dominate every edge.
+[[nodiscard]] std::vector<graph::NodeId> vertex_cover_from_two_matching(
+    const graph::SimpleGraph& g, const graph::EdgeSet& two_matching);
+
+}  // namespace eds::exact

@@ -1,0 +1,173 @@
+#include "factor/bipartite_matching.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace eds::factor {
+
+namespace {
+
+constexpr std::int64_t kFree = -1;
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+// Internal Hopcroft–Karp state over an adjacency-by-edge-index view.
+class Matcher {
+ public:
+  explicit Matcher(const BipartiteGraph& g) : g_(g), adj_(g.left) {
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      const auto [l, r] = g.edges[e];
+      if (l >= g.left || r >= g.right) {
+        throw InvalidArgument("bipartite matching: endpoint out of range");
+      }
+      adj_[l].push_back(e);
+    }
+    match_left_.assign(g.left, kFree);
+    match_right_.assign(g.right, kFree);
+  }
+
+  std::vector<std::int64_t> run() {
+    while (bfs()) {
+      for (std::uint32_t l = 0; l < g_.left; ++l) {
+        if (match_left_[l] == kFree) {
+          (void)dfs(l);
+        }
+      }
+    }
+    return match_left_;
+  }
+
+ private:
+  // Layered BFS from free left nodes; returns true when an augmenting path
+  // exists.
+  bool bfs() {
+    std::queue<std::uint32_t> q;
+    dist_.assign(g_.left, kInf);
+    for (std::uint32_t l = 0; l < g_.left; ++l) {
+      if (match_left_[l] == kFree) {
+        dist_[l] = 0;
+        q.push(l);
+      }
+    }
+    bool reachable_free_right = false;
+    while (!q.empty()) {
+      const auto l = q.front();
+      q.pop();
+      for (const auto e : adj_[l]) {
+        const auto r = g_.edges[e].second;
+        const auto back = match_right_[r];
+        if (back == kFree) {
+          reachable_free_right = true;
+        } else {
+          const auto l2 = g_.edges[static_cast<std::size_t>(back)].first;
+          if (dist_[l2] == kInf) {
+            dist_[l2] = dist_[l] + 1;
+            q.push(l2);
+          }
+        }
+      }
+    }
+    return reachable_free_right;
+  }
+
+  bool dfs(std::uint32_t l) {
+    for (const auto e : adj_[l]) {
+      const auto r = g_.edges[e].second;
+      const auto back = match_right_[r];
+      if (back == kFree) {
+        match_left_[l] = static_cast<std::int64_t>(e);
+        match_right_[r] = static_cast<std::int64_t>(e);
+        return true;
+      }
+      const auto l2 = g_.edges[static_cast<std::size_t>(back)].first;
+      if (dist_[l2] == dist_[l] + 1 && dfs(l2)) {
+        match_left_[l] = static_cast<std::int64_t>(e);
+        match_right_[r] = static_cast<std::int64_t>(e);
+        return true;
+      }
+    }
+    dist_[l] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::int64_t> match_left_;
+  std::vector<std::int64_t> match_right_;
+  std::vector<std::uint32_t> dist_;
+};
+
+}  // namespace
+
+std::vector<std::int64_t> hopcroft_karp(const BipartiteGraph& g) {
+  return Matcher(g).run();
+}
+
+std::size_t max_matching_size(const BipartiteGraph& g) {
+  std::size_t size = 0;
+  for (const auto m : hopcroft_karp(g)) {
+    if (m != kFree) ++size;
+  }
+  return size;
+}
+
+std::vector<std::size_t> perfect_matching(const BipartiteGraph& g) {
+  if (g.left != g.right) {
+    throw InvalidArgument("perfect_matching: sides must have equal size");
+  }
+  const auto match = hopcroft_karp(g);
+  std::vector<std::size_t> out;
+  out.reserve(g.left);
+  for (std::size_t l = 0; l < g.left; ++l) {
+    if (match[l] == kFree) {
+      throw InvalidStructure("perfect_matching: graph has no perfect matching");
+    }
+    out.push_back(static_cast<std::size_t>(match[l]));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> decompose_regular_bipartite(
+    const BipartiteGraph& g) {
+  if (g.left != g.right) {
+    throw InvalidArgument("decompose_regular_bipartite: sides must match");
+  }
+  std::vector<std::size_t> deg_left(g.left, 0);
+  std::vector<std::size_t> deg_right(g.right, 0);
+  for (const auto& [l, r] : g.edges) {
+    ++deg_left[l];
+    ++deg_right[r];
+  }
+  std::size_t k = g.left == 0 ? 0 : deg_left[0];
+  for (std::size_t v = 0; v < g.left; ++v) {
+    if (deg_left[v] != k || deg_right[v] != k) {
+      throw InvalidArgument("decompose_regular_bipartite: graph not regular");
+    }
+  }
+
+  // Repeatedly peel a perfect matching (exists by König/Hall for every
+  // regular bipartite multigraph).  Edge indices refer to g.edges.
+  std::vector<std::vector<std::size_t>> colours;
+  std::vector<bool> removed(g.edges.size(), false);
+  for (std::size_t round = 0; round < k; ++round) {
+    BipartiteGraph rest{g.left, g.right, {}};
+    std::vector<std::size_t> index_map;  // rest edge -> original edge
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      if (!removed[e]) {
+        rest.edges.push_back(g.edges[e]);
+        index_map.push_back(e);
+      }
+    }
+    const auto matched = perfect_matching(rest);
+    std::vector<std::size_t> colour;
+    colour.reserve(g.left);
+    for (const auto rest_edge : matched) {
+      const auto original = index_map[rest_edge];
+      removed[original] = true;
+      colour.push_back(original);
+    }
+    colours.push_back(std::move(colour));
+  }
+  return colours;
+}
+
+}  // namespace eds::factor

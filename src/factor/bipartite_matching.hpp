@@ -1,0 +1,45 @@
+// Maximum bipartite matching (Hopcroft–Karp) and the decomposition of
+// k-regular bipartite graphs into k perfect matchings (König's theorem,
+// constructive form).
+//
+// These are centralised substrate algorithms: the 2-factorisation of
+// Petersen's theorem reduces to them, and the lower-bound constructions of
+// the paper reduce to the 2-factorisation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace eds::factor {
+
+/// A bipartite graph given by left/right part sizes and explicit edges
+/// (indices into each side).  Parallel edges are allowed — the regular
+/// decomposition of multigraph Euler quotients needs them.
+struct BipartiteGraph {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  /// edges[e] = {left endpoint, right endpoint}
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+/// Maximum matching; result[l] is the matched *edge index* for left node l,
+/// or -1 when l is unmatched.  O(E sqrt(V)).
+[[nodiscard]] std::vector<std::int64_t> hopcroft_karp(const BipartiteGraph& g);
+
+/// Size of a maximum matching.
+[[nodiscard]] std::size_t max_matching_size(const BipartiteGraph& g);
+
+/// A perfect matching of a bipartite graph with left == right; throws
+/// InvalidStructure when none exists.  Returns one edge index per left node.
+[[nodiscard]] std::vector<std::size_t> perfect_matching(
+    const BipartiteGraph& g);
+
+/// Splits a k-regular bipartite graph into k perfect matchings
+/// (edge-colouring); each result entry is a list of edge indices, one per
+/// left node.  Throws InvalidArgument when the graph is not regular.
+[[nodiscard]] std::vector<std::vector<std::size_t>>
+decompose_regular_bipartite(const BipartiteGraph& g);
+
+}  // namespace eds::factor

@@ -1,0 +1,91 @@
+#include "factor/euler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace eds::factor {
+
+namespace {
+
+// Hierholzer's algorithm with an explicit stack; O(m) using per-node cursors
+// into the adjacency lists and a global used-edge mask.
+std::vector<DirectedEdge> hierholzer(const SimpleGraph& g, NodeId start,
+                                     std::vector<bool>& used,
+                                     std::vector<std::size_t>& cursor) {
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> walk;  // node sequence of the circuit, reversed at end
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    const auto inc = g.incidences(v);
+    while (cursor[v] < inc.size() && used[inc[cursor[v]].edge]) ++cursor[v];
+    if (cursor[v] == inc.size()) {
+      walk.push_back(v);
+      stack.pop_back();
+    } else {
+      const auto& step = inc[cursor[v]];
+      used[step.edge] = true;
+      stack.push_back(step.neighbour);
+    }
+  }
+  std::reverse(walk.begin(), walk.end());
+
+  std::vector<DirectedEdge> circuit;
+  circuit.reserve(walk.size() > 0 ? walk.size() - 1 : 0);
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    const auto e = g.find_edge(walk[i], walk[i + 1]);
+    EDS_ENSURE(e.has_value(), "Euler walk uses a non-edge");
+    circuit.push_back({walk[i], walk[i + 1], *e});
+  }
+  return circuit;
+}
+
+}  // namespace
+
+std::vector<DirectedEdge> euler_circuit(const SimpleGraph& g, NodeId start) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) % 2 != 0) {
+      throw InvalidArgument("euler_circuit: all degrees must be even");
+    }
+  }
+  if (start >= g.num_nodes() || g.degree(start) == 0) {
+    throw InvalidArgument("euler_circuit: start must be a non-isolated node");
+  }
+  std::vector<bool> used(g.num_edges(), false);
+  std::vector<std::size_t> cursor(g.num_nodes(), 0);
+  return hierholzer(g, start, used, cursor);
+}
+
+std::vector<DirectedEdge> euler_orientation(const SimpleGraph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) % 2 != 0) {
+      throw InvalidArgument("euler_orientation: all degrees must be even");
+    }
+  }
+  std::vector<DirectedEdge> oriented(g.num_edges());
+  std::vector<bool> used(g.num_edges(), false);
+  std::vector<std::size_t> cursor(g.num_nodes(), 0);
+  std::size_t assigned = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (g.degree(s) == 0 || cursor[s] > 0) continue;
+    // cursor[s] > 0 means s was already swept by an earlier circuit; a fresh
+    // component is detected by an untouched non-isolated node.
+    bool untouched = true;
+    for (const auto& inc : g.incidences(s)) {
+      if (used[inc.edge]) {
+        untouched = false;
+        break;
+      }
+    }
+    if (!untouched) continue;
+    for (const auto& step : hierholzer(g, s, used, cursor)) {
+      oriented[step.edge] = step;
+      ++assigned;
+    }
+  }
+  EDS_ENSURE(assigned == g.num_edges(),
+             "euler_orientation: some edges were not oriented");
+  return oriented;
+}
+
+}  // namespace eds::factor

@@ -1,0 +1,40 @@
+// Euler orientations via Hierholzer circuits.
+//
+// Petersen's 2-factorisation theorem (1891) rests on this step: walking an
+// Euler circuit of each component of an even-degree graph and orienting
+// edges along the walk yields an orientation where every node has
+// in-degree = out-degree = degree/2.
+#pragma once
+
+#include <vector>
+
+#include "graph/simple_graph.hpp"
+
+namespace eds::factor {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::SimpleGraph;
+
+/// An edge together with a chosen direction.
+struct DirectedEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  EdgeId edge = 0;
+
+  [[nodiscard]] bool operator==(const DirectedEdge&) const = default;
+};
+
+/// Orients every edge of `g` along Euler circuits of its components so that
+/// every node ends with in-degree = out-degree.  Requires every degree even;
+/// throws InvalidArgument otherwise.  Output is indexed by edge id.
+[[nodiscard]] std::vector<DirectedEdge> euler_orientation(const SimpleGraph& g);
+
+/// The Euler circuit of the component containing `start`, as a sequence of
+/// directed edges (each consecutive pair shares a node; the walk returns to
+/// `start`; every component edge appears exactly once).  Requires every
+/// degree in the component even and `start` non-isolated.
+[[nodiscard]] std::vector<DirectedEdge> euler_circuit(const SimpleGraph& g,
+                                                      NodeId start);
+
+}  // namespace eds::factor

@@ -1,0 +1,78 @@
+#include "factor/two_factor.hpp"
+
+#include <utility>
+
+#include "factor/bipartite_matching.hpp"
+
+namespace eds::factor {
+
+graph::EdgeSet OrientedFactor::edge_set(std::size_t num_edges) const {
+  graph::EdgeSet s(num_edges);
+  for (const auto& de : out) s.insert(de.edge);
+  return s;
+}
+
+TwoFactorisation two_factorise(const graph::SimpleGraph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t deg = n == 0 ? 0 : g.degree(0);
+  if (deg % 2 != 0 || !g.is_regular(deg)) {
+    throw InvalidArgument("two_factorise: graph must be 2k-regular");
+  }
+  const std::size_t k = deg / 2;
+  TwoFactorisation out;
+  if (k == 0) return out;
+
+  // Step 1 (Euler): orient so that in-degree = out-degree = k everywhere.
+  const auto oriented = euler_orientation(g);
+
+  // Step 2 (König): the bipartite graph on out-copies vs in-copies is
+  // k-regular; split it into k perfect matchings.  Each matching picks one
+  // outgoing and one incoming directed edge per node: a union of directed
+  // cycles spanning V, i.e. an oriented 2-factor.
+  BipartiteGraph b{n, n, {}};
+  b.edges.reserve(g.num_edges());
+  for (const auto& de : oriented) {
+    b.edges.push_back({de.from, de.to});
+  }
+  const auto colours = decompose_regular_bipartite(b);
+  EDS_ENSURE(colours.size() == k, "two_factorise: wrong number of factors");
+
+  out.factors.reserve(k);
+  for (const auto& colour : colours) {
+    OrientedFactor factor;
+    factor.out.assign(n, DirectedEdge{});
+    for (const auto bip_edge : colour) {
+      const auto& de = oriented[bip_edge];  // b.edges parallels `oriented`
+      factor.out[de.from] = de;
+    }
+    out.factors.push_back(std::move(factor));
+  }
+  return out;
+}
+
+port::PortedGraph with_factor_ports(graph::SimpleGraph g) {
+  const auto factorisation = two_factorise(g);
+  return with_factor_ports(std::move(g), factorisation);
+}
+
+port::PortedGraph with_factor_ports(graph::SimpleGraph g,
+                                    const TwoFactorisation& factorisation) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t k = factorisation.k();
+  std::vector<std::vector<graph::EdgeId>> order(
+      n, std::vector<graph::EdgeId>(2 * k));
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& factor = factorisation.factors[i];
+    EDS_ENSURE(factor.out.size() == n,
+               "with_factor_ports: factor does not span the node set");
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const auto& de = factor.out[v];
+      EDS_ENSURE(de.from == v, "with_factor_ports: misdirected factor edge");
+      order[v][2 * i] = de.edge;      // port 2i+1 (1-based 2i-1): outgoing
+      order[de.to][2 * i + 1] = de.edge;  // port 2i+2 (1-based 2i): incoming
+    }
+  }
+  return port::PortedGraph(std::move(g), order);
+}
+
+}  // namespace eds::factor

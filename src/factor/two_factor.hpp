@@ -1,0 +1,48 @@
+// Petersen's theorem, constructively: every 2k-regular graph splits into k
+// edge-disjoint 2-factors.  Each factor comes with an orientation into
+// directed cycles, which is exactly what the paper's lower-bound
+// constructions need to define their adversarial port numberings
+// ("for each (u, v) in the oriented factor i, set p(u, 2i-1) = (v, 2i)").
+#pragma once
+
+#include <vector>
+
+#include "factor/euler.hpp"
+#include "graph/edge_set.hpp"
+#include "port/ported_graph.hpp"
+
+namespace eds::factor {
+
+/// One 2-factor: a spanning set of directed cycles, one directed edge per
+/// (node, factor) leaving the node and one entering it.
+struct OrientedFactor {
+  /// out[v] = the directed edge leaving v in this factor.
+  std::vector<DirectedEdge> out;
+
+  /// The factor's edges as a set over the host graph's edge ids.
+  [[nodiscard]] graph::EdgeSet edge_set(std::size_t num_edges) const;
+};
+
+/// A complete 2-factorisation of a 2k-regular graph.
+struct TwoFactorisation {
+  std::vector<OrientedFactor> factors;  // size k
+
+  [[nodiscard]] std::size_t k() const noexcept { return factors.size(); }
+};
+
+/// Computes a 2-factorisation of a 2k-regular graph (Petersen 1891):
+/// Euler-orient every component, then split the resulting k-regular
+/// bipartite out/in graph into k perfect matchings.  Throws InvalidArgument
+/// unless every node has the same even degree.
+[[nodiscard]] TwoFactorisation two_factorise(const graph::SimpleGraph& g);
+
+/// Port numbering induced by a 2-factorisation: for each directed edge
+/// (u, v) of factor i (1-based), port 2i-1 of u and port 2i of v carry the
+/// edge.  This is the numbering used in the proofs of Theorems 1 and 2.
+[[nodiscard]] port::PortedGraph with_factor_ports(graph::SimpleGraph g);
+
+/// Same, but reusing an existing factorisation of `g`.
+[[nodiscard]] port::PortedGraph with_factor_ports(
+    graph::SimpleGraph g, const TwoFactorisation& factorisation);
+
+}  // namespace eds::factor

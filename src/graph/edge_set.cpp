@@ -1,0 +1,81 @@
+#include "graph/edge_set.hpp"
+
+namespace eds::graph {
+
+EdgeSet::EdgeSet(std::size_t num_edges, const std::vector<EdgeId>& edges)
+    : EdgeSet(num_edges) {
+  for (EdgeId e : edges) insert(e);
+}
+
+bool EdgeSet::insert(EdgeId e) {
+  if (member_.at(e)) return false;
+  member_[e] = true;
+  ++count_;
+  return true;
+}
+
+bool EdgeSet::erase(EdgeId e) {
+  if (!member_.at(e)) return false;
+  member_[e] = false;
+  --count_;
+  return true;
+}
+
+std::vector<EdgeId> EdgeSet::to_vector() const {
+  std::vector<EdgeId> out;
+  out.reserve(count_);
+  for (std::size_t e = 0; e < member_.size(); ++e) {
+    if (member_[e]) out.push_back(static_cast<EdgeId>(e));
+  }
+  return out;
+}
+
+void EdgeSet::check_same_universe(const EdgeSet& rhs) const {
+  if (universe_size() != rhs.universe_size()) {
+    throw InvalidArgument("EdgeSet: mismatched universes");
+  }
+}
+
+EdgeSet EdgeSet::set_union(const EdgeSet& rhs) const {
+  check_same_universe(rhs);
+  EdgeSet out(universe_size());
+  for (std::size_t e = 0; e < member_.size(); ++e) {
+    if (member_[e] || rhs.member_[e]) out.insert(static_cast<EdgeId>(e));
+  }
+  return out;
+}
+
+EdgeSet EdgeSet::set_intersection(const EdgeSet& rhs) const {
+  check_same_universe(rhs);
+  EdgeSet out(universe_size());
+  for (std::size_t e = 0; e < member_.size(); ++e) {
+    if (member_[e] && rhs.member_[e]) out.insert(static_cast<EdgeId>(e));
+  }
+  return out;
+}
+
+EdgeSet EdgeSet::set_difference(const EdgeSet& rhs) const {
+  check_same_universe(rhs);
+  EdgeSet out(universe_size());
+  for (std::size_t e = 0; e < member_.size(); ++e) {
+    if (member_[e] && !rhs.member_[e]) out.insert(static_cast<EdgeId>(e));
+  }
+  return out;
+}
+
+std::size_t degree_in_set(const SimpleGraph& g, const EdgeSet& s, NodeId v) {
+  std::size_t deg = 0;
+  for (const auto& inc : g.incidences(v)) {
+    if (s.contains(inc.edge)) ++deg;
+  }
+  return deg;
+}
+
+bool covers_node(const SimpleGraph& g, const EdgeSet& s, NodeId v) {
+  for (const auto& inc : g.incidences(v)) {
+    if (s.contains(inc.edge)) return true;
+  }
+  return false;
+}
+
+}  // namespace eds::graph

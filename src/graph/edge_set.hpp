@@ -1,0 +1,65 @@
+// A set of edges of a fixed SimpleGraph, keyed by edge id.
+//
+// EdgeSet is the common currency for solutions: algorithm outputs, matchings,
+// edge covers and edge dominating sets are all EdgeSets over the same graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/simple_graph.hpp"
+
+namespace eds::graph {
+
+/// A subset of the edges of a graph with m edges, with O(1) membership and
+/// O(m) iteration.  Cheap to copy for laptop-scale graphs.
+class EdgeSet {
+ public:
+  EdgeSet() = default;
+
+  /// Empty set over a universe of `num_edges` edge ids.
+  explicit EdgeSet(std::size_t num_edges) : member_(num_edges, false) {}
+
+  /// Set containing exactly `edges` over a universe of `num_edges` ids.
+  EdgeSet(std::size_t num_edges, const std::vector<EdgeId>& edges);
+
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return member_.size();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  [[nodiscard]] bool contains(EdgeId e) const { return member_.at(e); }
+
+  /// Inserts `e`; returns true if it was not already present.
+  bool insert(EdgeId e);
+
+  /// Removes `e`; returns true if it was present.
+  bool erase(EdgeId e);
+
+  /// All member edge ids in increasing order.
+  [[nodiscard]] std::vector<EdgeId> to_vector() const;
+
+  /// Set union / intersection / difference (universes must match).
+  [[nodiscard]] EdgeSet set_union(const EdgeSet& rhs) const;
+  [[nodiscard]] EdgeSet set_intersection(const EdgeSet& rhs) const;
+  [[nodiscard]] EdgeSet set_difference(const EdgeSet& rhs) const;
+
+  [[nodiscard]] bool operator==(const EdgeSet& rhs) const = default;
+
+ private:
+  void check_same_universe(const EdgeSet& rhs) const;
+
+  std::vector<bool> member_;
+  std::size_t count_ = 0;
+};
+
+/// Number of member edges incident to `v` in `g`.
+[[nodiscard]] std::size_t degree_in_set(const SimpleGraph& g, const EdgeSet& s,
+                                        NodeId v);
+
+/// True when some member edge covers `v` (i.e. is incident to it).
+[[nodiscard]] bool covers_node(const SimpleGraph& g, const EdgeSet& s,
+                               NodeId v);
+
+}  // namespace eds::graph

@@ -1,0 +1,75 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+namespace eds::graph {
+
+std::vector<std::size_t> connected_components(const SimpleGraph& g) {
+  constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp(g.num_nodes(), kUnseen);
+  std::size_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != kUnseen) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const auto& inc : g.incidences(v)) {
+        if (comp[inc.neighbour] == kUnseen) {
+          comp[inc.neighbour] = next;
+          stack.push_back(inc.neighbour);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::size_t num_components(const SimpleGraph& g) {
+  const auto comp = connected_components(g);
+  if (comp.empty()) return 0;
+  return *std::max_element(comp.begin(), comp.end()) + 1;
+}
+
+bool is_connected(const SimpleGraph& g) { return num_components(g) <= 1; }
+
+std::optional<std::vector<int>> bipartition(const SimpleGraph& g) {
+  std::vector<int> colour(g.num_nodes(), -1);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (colour[s] != -1) continue;
+    colour[s] = 0;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const auto& inc : g.incidences(v)) {
+        if (colour[inc.neighbour] == -1) {
+          colour[inc.neighbour] = 1 - colour[v];
+          stack.push_back(inc.neighbour);
+        } else if (colour[inc.neighbour] == colour[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return colour;
+}
+
+bool is_bipartite(const SimpleGraph& g) { return bipartition(g).has_value(); }
+
+std::vector<std::size_t> degree_histogram(const SimpleGraph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+bool is_forest(const SimpleGraph& g) {
+  // A graph is a forest iff m = n - (number of components).
+  return g.num_edges() + num_components(g) == g.num_nodes();
+}
+
+}  // namespace eds::graph

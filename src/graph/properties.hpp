@@ -1,0 +1,34 @@
+// Structural graph predicates and decompositions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/simple_graph.hpp"
+
+namespace eds::graph {
+
+/// Component index (0-based) for every node; nodes in the same connected
+/// component share an index.
+[[nodiscard]] std::vector<std::size_t> connected_components(
+    const SimpleGraph& g);
+
+/// Number of connected components (isolated nodes count).
+[[nodiscard]] std::size_t num_components(const SimpleGraph& g);
+
+/// True when the graph is connected (the empty graph counts as connected).
+[[nodiscard]] bool is_connected(const SimpleGraph& g);
+
+/// A proper 2-colouring (0/1 per node) if the graph is bipartite.
+[[nodiscard]] std::optional<std::vector<int>> bipartition(const SimpleGraph& g);
+
+[[nodiscard]] bool is_bipartite(const SimpleGraph& g);
+
+/// degree_histogram(g)[d] = number of nodes with degree d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(const SimpleGraph& g);
+
+/// True when the edge set induces no cycle.
+[[nodiscard]] bool is_forest(const SimpleGraph& g);
+
+}  // namespace eds::graph

@@ -1,0 +1,94 @@
+#include "graph/simple_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace eds::graph {
+
+SimpleGraph::SimpleGraph(std::size_t n) : adjacency_(n) {}
+
+SimpleGraph SimpleGraph::from_edges(std::size_t n, std::vector<Edge> edges) {
+  SimpleGraph g(n);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  g.edges_.reserve(edges.size());
+  for (auto e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw InvalidStructure("SimpleGraph: edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw InvalidStructure("SimpleGraph: loops are not allowed");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+    if (!seen.emplace(e.u, e.v).second) {
+      throw InvalidStructure("SimpleGraph: parallel edges are not allowed");
+    }
+    const auto id = static_cast<EdgeId>(g.edges_.size());
+    g.edges_.push_back(e);
+    g.adjacency_[e.u].push_back({e.v, id});
+    g.adjacency_[e.v].push_back({e.u, id});
+  }
+  for (auto& inc : g.adjacency_) {
+    std::sort(inc.begin(), inc.end(),
+              [](const Incidence& a, const Incidence& b) {
+                return std::pair(a.neighbour, a.edge) <
+                       std::pair(b.neighbour, b.edge);
+              });
+  }
+  return g;
+}
+
+std::size_t SimpleGraph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& inc : adjacency_) best = std::max(best, inc.size());
+  return best;
+}
+
+std::size_t SimpleGraph::min_degree() const noexcept {
+  if (adjacency_.empty()) return 0;
+  std::size_t best = adjacency_.front().size();
+  for (const auto& inc : adjacency_) best = std::min(best, inc.size());
+  return best;
+}
+
+bool SimpleGraph::is_regular(std::size_t d) const noexcept {
+  for (const auto& inc : adjacency_) {
+    if (inc.size() != d) return false;
+  }
+  return true;
+}
+
+std::optional<EdgeId> SimpleGraph::find_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    throw InvalidArgument("SimpleGraph::find_edge: node out of range");
+  }
+  // Search the smaller adjacency list.
+  const NodeId probe = degree(u) <= degree(v) ? u : v;
+  const NodeId target = probe == u ? v : u;
+  for (const auto& inc : adjacency_[probe]) {
+    if (inc.neighbour == target) return inc.edge;
+  }
+  return std::nullopt;
+}
+
+std::string SimpleGraph::summary() const {
+  std::ostringstream os;
+  os << "n=" << num_nodes() << " m=" << num_edges()
+     << " degmin=" << min_degree() << " degmax=" << max_degree();
+  return os.str();
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u >= n_ || v >= n_) {
+    throw InvalidArgument("GraphBuilder::add_edge: node out of range");
+  }
+  edges_.push_back({u, v});
+  return *this;
+}
+
+SimpleGraph GraphBuilder::build() {
+  return SimpleGraph::from_edges(n_, std::move(edges_));
+}
+
+}  // namespace eds::graph

@@ -1,0 +1,77 @@
+#include "lb/gadgets.hpp"
+
+#include "factor/two_factor.hpp"
+#include "util/error.hpp"
+
+namespace eds::lb {
+
+port::PortedGraph subdivided_factor_gadget(const graph::SimpleGraph& base) {
+  const std::size_t n = base.num_nodes();
+  const std::size_t deg = n == 0 ? 0 : base.degree(0);
+  if (deg < 4 || deg % 2 != 0 || !base.is_regular(deg)) {
+    throw InvalidArgument(
+        "subdivided_factor_gadget: base must be 2k-regular with k >= 2");
+  }
+  const auto tf = factor::two_factorise(base);
+
+  // New graph: original nodes 0..n-1; subdivision node n + u for the
+  // factor-1 edge leaving u (one per node, since a factor is a permutation).
+  graph::GraphBuilder builder(2 * n);
+  const auto& factor1 = tf.factors.front();
+
+  // Subdivided factor-1 edges.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto& de = factor1.out[u];
+    builder.add_edge(u, static_cast<graph::NodeId>(n + u));          // u - s_u
+    builder.add_edge(static_cast<graph::NodeId>(n + u), de.to);      // s_u - v
+  }
+  // Remaining factors unchanged.
+  for (std::size_t i = 1; i < tf.k(); ++i) {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto& de = tf.factors[i].out[u];
+      builder.add_edge(de.from, de.to);
+    }
+  }
+  auto g = builder.build();
+
+  // Port orders.  Original node w: port 2i-1 = outgoing factor-i edge,
+  // port 2i = incoming factor-i edge (factor 1 routed through subdivision
+  // nodes).  Subdivision node s_u (on u -> v): port 1 -> v, port 2 -> u.
+  std::vector<std::vector<graph::EdgeId>> order(2 * n);
+  for (graph::NodeId w = 0; w < n; ++w) {
+    order[w].resize(deg);
+    // Factor 1: outgoing through s_w, incoming from s_x where x -> w.
+    order[w][0] = *g.find_edge(w, static_cast<graph::NodeId>(n + w));
+    graph::NodeId in_subdiv = 2 * static_cast<graph::NodeId>(n);
+    for (graph::NodeId x = 0; x < n; ++x) {
+      if (factor1.out[x].to == w) {
+        in_subdiv = static_cast<graph::NodeId>(n + x);
+        break;
+      }
+    }
+    EDS_ENSURE(in_subdiv < 2 * n, "gadget: missing incoming factor-1 edge");
+    order[w][1] = *g.find_edge(w, in_subdiv);
+    for (std::size_t i = 1; i < tf.k(); ++i) {
+      const auto& out_edge = tf.factors[i].out[w];
+      order[w][2 * i] = *g.find_edge(w, out_edge.to);
+      graph::NodeId in_from = 2 * static_cast<graph::NodeId>(n);
+      for (graph::NodeId x = 0; x < n; ++x) {
+        if (tf.factors[i].out[x].to == w) {
+          in_from = x;
+          break;
+        }
+      }
+      EDS_ENSURE(in_from < 2 * n, "gadget: missing incoming factor edge");
+      order[w][2 * i + 1] = *g.find_edge(w, in_from);
+    }
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto s = static_cast<graph::NodeId>(n + u);
+    order[s].resize(2);
+    order[s][0] = *g.find_edge(s, factor1.out[u].to);  // port 1 -> v
+    order[s][1] = *g.find_edge(s, u);                  // port 2 -> u
+  }
+  return port::PortedGraph(std::move(g), order);
+}
+
+}  // namespace eds::lb

@@ -1,0 +1,28 @@
+// Phase-exercising gadget constructions.
+//
+// The random families rarely trigger every code path of Theorem 5's A(∆):
+// on most inputs phase I (distinguishable neighbours) already covers what
+// phase II (degree-class proposals) would.  The subdivided-factor gadget
+// here is engineered so that *no* node has a distinguishable neighbour
+// (phase I finds nothing), the only unequal-degree edges are hub-to-
+// subdivision edges (phase II must act), and the remaining equal-degree
+// edges are left to phase III — exercising all three phases, each
+// non-trivially.
+#pragma once
+
+#include "port/ported_graph.hpp"
+
+namespace eds::lb {
+
+/// Takes a 2k-regular graph (k >= 2), 2-factorises it, subdivides every
+/// factor-1 edge with a degree-2 node, and port-numbers the result so that
+/// every label pair is duplicated at every node:
+///   * original nodes keep ports 2i-1/2i per factor (mirror pairs),
+///   * each subdivision node s on u -> v has p(s,1) = (v,2), p(s,2) = (u,1).
+/// Hence no node has a uniquely labelled edge, phase I of A(∆) adds
+/// nothing, and the hub-subdivision edges (degrees 2k vs 2) can only be
+/// matched by phase II.
+[[nodiscard]] port::PortedGraph subdivided_factor_gadget(
+    const graph::SimpleGraph& base);
+
+}  // namespace eds::lb

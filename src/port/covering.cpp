@@ -1,0 +1,59 @@
+#include "port/covering.hpp"
+
+#include <sstream>
+
+namespace eds::port {
+
+CoveringCheck check_covering_map(const PortGraph& cover, const PortGraph& base,
+                                 const std::vector<NodeId>& f) {
+  auto fail = [](std::string why) {
+    return CoveringCheck{false, std::move(why)};
+  };
+
+  if (f.size() != cover.num_nodes()) {
+    return fail("covering map must assign an image to every node of H");
+  }
+
+  std::vector<bool> hit(base.num_nodes(), false);
+  for (NodeId v = 0; v < cover.num_nodes(); ++v) {
+    if (f[v] >= base.num_nodes()) {
+      return fail("covering map image out of range");
+    }
+    hit[f[v]] = true;
+    if (cover.degree(v) != base.degree(f[v])) {
+      std::ostringstream os;
+      os << "degree not preserved at node " << v << ": d_H=" << cover.degree(v)
+         << " d_G=" << base.degree(f[v]);
+      return fail(os.str());
+    }
+  }
+  for (NodeId x = 0; x < base.num_nodes(); ++x) {
+    if (!hit[x]) {
+      std::ostringstream os;
+      os << "covering map is not surjective: node " << x << " has no preimage";
+      return fail(os.str());
+    }
+  }
+
+  for (NodeId v = 0; v < cover.num_nodes(); ++v) {
+    for (Port i = 1; i <= cover.degree(v); ++i) {
+      const PortRef there = cover.partner(v, i);
+      const PortRef expect = base.partner(f[v], i);
+      if (expect.node != f[there.node] || expect.port != there.port) {
+        std::ostringstream os;
+        os << "connections not preserved: p_H(" << v << "," << i << ")=("
+           << there.node << "," << there.port << ") but p_G(f(" << v << "),"
+           << i << ")=(" << expect.node << "," << expect.port << ")";
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
+bool is_covering_map(const PortGraph& cover, const PortGraph& base,
+                     const std::vector<NodeId>& f) {
+  return check_covering_map(cover, base, f).ok;
+}
+
+}  // namespace eds::port

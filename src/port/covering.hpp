@@ -1,0 +1,34 @@
+// Covering maps between port-numbered graphs (Section 2.3 of the paper).
+//
+// A surjection f : V_H -> V_G is a covering map when it preserves degrees
+// and connections: p_H(v, i) = (u, j) implies p_G(f(v), i) = (f(u), j).
+// The key lemma — outputs of a deterministic anonymous algorithm on H equal
+// the lifted outputs on G — is what the lower-bound constructions exploit,
+// and what our tests verify *empirically* against the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "port/port_graph.hpp"
+
+namespace eds::port {
+
+/// Result of a covering-map check; `ok` plus a human-readable reason when not.
+struct CoveringCheck {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Checks whether `f` (indexed by nodes of H) is a covering map from H to G.
+/// Verifies surjectivity, degree preservation and connection preservation.
+[[nodiscard]] CoveringCheck check_covering_map(const PortGraph& cover,
+                                               const PortGraph& base,
+                                               const std::vector<NodeId>& f);
+
+/// Convenience wrapper: true iff check_covering_map(...).ok.
+[[nodiscard]] bool is_covering_map(const PortGraph& cover,
+                                   const PortGraph& base,
+                                   const std::vector<NodeId>& f);
+
+}  // namespace eds::port

@@ -1,0 +1,57 @@
+#include "port/labels.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace eds::port {
+
+LabelPair label_pair(const PortedGraph& pg, graph::EdgeId e) {
+  const auto& edge = pg.graph().edge(e);
+  Port a = pg.port_of(edge.u, e);
+  Port b = pg.port_of(edge.v, e);
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+std::vector<graph::EdgeId> uniquely_labelled_edges(const PortedGraph& pg,
+                                                   NodeId v) {
+  const auto deg = pg.graph().degree(v);
+  std::map<std::pair<Port, Port>, int> multiplicity;
+  std::vector<LabelPair> pair_at(deg);
+  for (Port i = 1; i <= deg; ++i) {
+    const auto lp = label_pair(pg, pg.edge_at(v, i));
+    pair_at[i - 1] = lp;
+    ++multiplicity[{lp.lo, lp.hi}];
+  }
+  std::vector<graph::EdgeId> out;
+  for (Port i = 1; i <= deg; ++i) {
+    const auto& lp = pair_at[i - 1];
+    if (multiplicity[{lp.lo, lp.hi}] == 1) {
+      out.push_back(pg.edge_at(v, i));
+    }
+  }
+  return out;
+}
+
+std::optional<NodeId> distinguishable_neighbour(const PortedGraph& pg,
+                                                NodeId v) {
+  // uniquely_labelled_edges returns edges in increasing order of v's port,
+  // so the first entry minimises l_G(v, u).
+  const auto unique = uniquely_labelled_edges(pg, v);
+  if (unique.empty()) return std::nullopt;
+  return pg.graph().edge(unique.front()).other(v);
+}
+
+graph::EdgeSet matching_m(const PortedGraph& pg, Port i, Port j) {
+  graph::EdgeSet out(pg.graph().num_edges());
+  for (NodeId v = 0; v < pg.graph().num_nodes(); ++v) {
+    if (i > pg.graph().degree(v)) continue;
+    const auto e = pg.edge_at(v, i);
+    const NodeId u = pg.graph().edge(e).other(v);
+    if (pg.port_of(u, e) != j) continue;
+    if (distinguishable_neighbour(pg, v) == u) out.insert(e);
+  }
+  return out;
+}
+
+}  // namespace eds::port

@@ -1,0 +1,45 @@
+// Label pairs, uniquely labelled edges, distinguishable neighbours and the
+// matchings M_G(i, j) (Section 5 of the paper).
+//
+// These are *centralised oracles* mirroring what each node of a distributed
+// algorithm computes locally in O(1) rounds; they are used by the algorithm
+// schedule, by the test suite (Lemmas 1 and 2 as property tests) and by the
+// figure-regeneration benches.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/edge_set.hpp"
+#include "port/ported_graph.hpp"
+
+namespace eds::port {
+
+/// The unordered label pair l_G{u, v} = {l_G(v,u), l_G(u,v)} of an edge,
+/// stored with lo <= hi.
+struct LabelPair {
+  Port lo = 0;
+  Port hi = 0;
+
+  [[nodiscard]] bool operator==(const LabelPair&) const = default;
+};
+
+/// Label pair of edge `e`.
+[[nodiscard]] LabelPair label_pair(const PortedGraph& pg, graph::EdgeId e);
+
+/// The edges incident to `v` whose label pair differs from the label pair of
+/// every other edge incident to `v` (in increasing order of v's port).
+[[nodiscard]] std::vector<graph::EdgeId> uniquely_labelled_edges(
+    const PortedGraph& pg, NodeId v);
+
+/// The distinguishable neighbour of `v`: the other endpoint of the uniquely
+/// labelled edge of v minimising l_G(v, u); nullopt when v has no uniquely
+/// labelled edge (possible only for even-degree nodes — Lemma 1).
+[[nodiscard]] std::optional<NodeId> distinguishable_neighbour(
+    const PortedGraph& pg, NodeId v);
+
+/// M_G(i, j): all edges {v, u} with p_G(v, i) = (u, j) and u the
+/// distinguishable neighbour of v.  Always a matching (Lemma 2).
+[[nodiscard]] graph::EdgeSet matching_m(const PortedGraph& pg, Port i, Port j);
+
+}  // namespace eds::port

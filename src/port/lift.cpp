@@ -1,0 +1,58 @@
+#include "port/lift.hpp"
+
+namespace eds::port {
+
+PortGraph cyclic_lift(const PortGraph& base, std::size_t layers, Rng& rng) {
+  if (layers < 1) throw InvalidArgument("cyclic_lift: need layers >= 1");
+  const auto nb = static_cast<NodeId>(base.num_nodes());
+
+  std::vector<Port> degrees(static_cast<std::size_t>(nb) * layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (NodeId v = 0; v < nb; ++v) {
+      degrees[l * nb + v] = base.degree(v);
+    }
+  }
+  PortGraphBuilder builder(std::move(degrees));
+
+  auto at = [nb](NodeId v, std::size_t layer) {
+    return static_cast<NodeId>(layer * nb + v);
+  };
+
+  for (const auto& pe : base.port_edges()) {
+    if (pe.directed_loop) {
+      // Voltage 0 keeps a directed loop per layer; layers/2 (even k) turns
+      // the fixed point into a cross-layer undirected edge on the same port.
+      const bool cross = layers % 2 == 0 && rng.chance(0.5);
+      for (std::size_t l = 0; l < layers; ++l) {
+        if (!cross) {
+          builder.fix({at(pe.a.node, l), pe.a.port});
+        } else if (l < layers / 2) {
+          builder.connect({at(pe.a.node, l), pe.a.port},
+                          {at(pe.a.node, l + layers / 2), pe.a.port});
+        }
+      }
+      continue;
+    }
+    const auto s = static_cast<std::size_t>(rng.below(layers));
+    // Undirected loop on one node with s == 0 and a.port != b.port is fine:
+    // it stays an in-layer undirected loop.
+    for (std::size_t l = 0; l < layers; ++l) {
+      builder.connect({at(pe.a.node, l), pe.a.port},
+                      {at(pe.b.node, (l + s) % layers), pe.b.port});
+    }
+  }
+  auto lifted = builder.build();
+  return lifted;
+}
+
+std::vector<NodeId> lift_projection(const PortGraph& base,
+                                    std::size_t layers) {
+  const auto nb = static_cast<NodeId>(base.num_nodes());
+  std::vector<NodeId> f(static_cast<std::size_t>(nb) * layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (NodeId v = 0; v < nb; ++v) f[l * nb + v] = v;
+  }
+  return f;
+}
+
+}  // namespace eds::port

@@ -1,0 +1,30 @@
+// Cyclic lifts: systematic construction of covering graphs.
+//
+// A k-fold cyclic lift of a port-numbered base graph B assigns every
+// structural edge a voltage s in Z_k and replaces each node by k layered
+// copies; the edge (u,i)-(v,j) with voltage s connects layer l of u to
+// layer (l+s) mod k of v, for every l.  The projection (v, l) -> v is a
+// covering map by construction, so lifts give an unbounded supply of test
+// instances for the indistinguishability machinery (Section 2.3) beyond the
+// two constructions of the paper.
+#pragma once
+
+#include <vector>
+
+#include "port/port_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::port {
+
+/// A lift of `base` with `layers` layers and random voltages.  Directed
+/// loops receive voltage 0 (staying directed loops in every layer) or, when
+/// `layers` is even, possibly layers/2 (becoming cross-layer edges); other
+/// edges receive uniform voltages.  Node (v, l) has index l * |V_B| + v.
+[[nodiscard]] PortGraph cyclic_lift(const PortGraph& base, std::size_t layers,
+                                    Rng& rng);
+
+/// The covering map of a cyclic lift: (v, l) -> v.
+[[nodiscard]] std::vector<NodeId> lift_projection(const PortGraph& base,
+                                                  std::size_t layers);
+
+}  // namespace eds::port

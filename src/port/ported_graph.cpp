@@ -1,0 +1,89 @@
+#include "port/ported_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace eds::port {
+
+PortedGraph::PortedGraph(
+    SimpleGraph graph, const std::vector<std::vector<EdgeId>>& order_per_node)
+    : graph_(std::move(graph)), edge_at_port_(order_per_node) {
+  const std::size_t n = graph_.num_nodes();
+  if (order_per_node.size() != n) {
+    throw InvalidArgument("PortedGraph: order_per_node size mismatch");
+  }
+  // Validate each node's list is a permutation of its incident edge ids.
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<EdgeId> expected;
+    expected.reserve(graph_.degree(v));
+    for (const auto& inc : graph_.incidences(v)) expected.push_back(inc.edge);
+    std::vector<EdgeId> got = order_per_node[v];
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    if (expected != got) {
+      std::ostringstream os;
+      os << "PortedGraph: port order of node " << v
+         << " is not a permutation of its incident edges";
+      throw InvalidStructure(os.str());
+    }
+  }
+
+  std::vector<Port> degrees(n);
+  for (NodeId v = 0; v < n; ++v) {
+    degrees[v] = static_cast<Port>(graph_.degree(v));
+  }
+  PortGraphBuilder builder(std::move(degrees));
+  // Connect port i of v to the port of the other endpoint carrying the same
+  // edge.  Iterate over edges so each connection is made exactly once.
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const auto& edge = graph_.edge(e);
+    builder.connect({edge.u, port_of(edge.u, e)}, {edge.v, port_of(edge.v, e)});
+  }
+  ports_ = builder.build();
+}
+
+EdgeId PortedGraph::edge_at(NodeId v, Port i) const {
+  if (v >= edge_at_port_.size() || i < 1 || i > edge_at_port_[v].size()) {
+    throw InvalidArgument("PortedGraph::edge_at: port out of range");
+  }
+  return edge_at_port_[v][i - 1];
+}
+
+Port PortedGraph::port_of(NodeId v, EdgeId e) const {
+  if (v >= edge_at_port_.size()) {
+    throw InvalidArgument("PortedGraph::port_of: node out of range");
+  }
+  const auto& order = edge_at_port_[v];
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (order[k] == e) return static_cast<Port>(k + 1);
+  }
+  throw InvalidArgument("PortedGraph::port_of: node is not an endpoint");
+}
+
+Port PortedGraph::port_towards(NodeId v, NodeId u) const {
+  const auto e = graph_.find_edge(v, u);
+  if (!e) throw InvalidArgument("PortedGraph::port_towards: no such edge");
+  return port_of(v, *e);
+}
+
+PortedGraph with_canonical_ports(SimpleGraph g) {
+  std::vector<std::vector<EdgeId>> order(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    order[v].reserve(g.degree(v));
+    for (const auto& inc : g.incidences(v)) order[v].push_back(inc.edge);
+  }
+  return PortedGraph(std::move(g), order);
+}
+
+PortedGraph with_random_ports(SimpleGraph g, Rng& rng) {
+  std::vector<std::vector<EdgeId>> order(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    order[v].reserve(g.degree(v));
+    for (const auto& inc : g.incidences(v)) order[v].push_back(inc.edge);
+    rng.shuffle(order[v]);
+  }
+  return PortedGraph(std::move(g), order);
+}
+
+}  // namespace eds::port

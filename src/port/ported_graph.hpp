@@ -1,0 +1,54 @@
+// A simple graph together with a port numbering, plus the cross-maps that
+// let us translate between the distributed world (node, port) and the
+// centralised world (edge id).
+//
+// All distributed executions in this library run on a PortedGraph (or a bare
+// PortGraph for multigraph covering spaces); all verification runs on the
+// underlying SimpleGraph via edge ids.
+#pragma once
+
+#include <vector>
+
+#include "graph/simple_graph.hpp"
+#include "port/port_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::port {
+
+using graph::EdgeId;
+using graph::SimpleGraph;
+
+/// A simple graph with a port numbering and bidirectional port<->edge maps.
+class PortedGraph {
+ public:
+  /// Builds from a graph and, for each node, its incident edge ids in port
+  /// order (order_per_node[v][i-1] is the edge on port i of v).  Validates
+  /// that each node's list is a permutation of its incident edges.
+  PortedGraph(SimpleGraph graph,
+              const std::vector<std::vector<EdgeId>>& order_per_node);
+
+  [[nodiscard]] const SimpleGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const PortGraph& ports() const noexcept { return ports_; }
+
+  /// The edge connected to port i of node v.
+  [[nodiscard]] EdgeId edge_at(NodeId v, Port i) const;
+
+  /// The port of node v on edge e; throws if v is not an endpoint of e.
+  [[nodiscard]] Port port_of(NodeId v, EdgeId e) const;
+
+  /// The paper's l_G(v, u): the port of v on the edge {v, u}.
+  [[nodiscard]] Port port_towards(NodeId v, NodeId u) const;
+
+ private:
+  SimpleGraph graph_;
+  PortGraph ports_;
+  std::vector<std::vector<EdgeId>> edge_at_port_;  // [v][i-1] -> edge id
+};
+
+/// Ports assigned in adjacency-list order (deterministic).
+[[nodiscard]] PortedGraph with_canonical_ports(SimpleGraph g);
+
+/// Ports assigned by an independent random permutation at every node.
+[[nodiscard]] PortedGraph with_random_ports(SimpleGraph g, Rng& rng);
+
+}  // namespace eds::port

@@ -1,0 +1,29 @@
+#include "port/random_port_graph.hpp"
+
+namespace eds::port {
+
+PortGraph random_port_graph(const std::vector<Port>& degrees, Rng& rng,
+                            double fix_probability) {
+  PortGraphBuilder builder(degrees);
+
+  std::vector<PortRef> ports;
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    for (Port i = 1; i <= degrees[v]; ++i) ports.push_back({v, i});
+  }
+  rng.shuffle(ports);
+
+  // Peel ports off the shuffled pool: each becomes a fixed point with the
+  // given probability, otherwise it pairs with the next remaining port.
+  std::size_t index = 0;
+  while (index < ports.size()) {
+    const auto a = ports[index++];
+    if (index == ports.size() || rng.chance(fix_probability)) {
+      builder.fix(a);
+    } else {
+      builder.connect(a, ports[index++]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace eds::port

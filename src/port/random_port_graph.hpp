@@ -1,0 +1,21 @@
+// Random port-numbered multigraphs: uniform random involutions on a given
+// degree sequence.  These are fuzzing inputs for the runtime — arbitrary
+// combinations of parallel edges, undirected loops and directed loops —
+// exactly the full generality the paper's model allows.
+#pragma once
+
+#include <vector>
+
+#include "port/port_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::port {
+
+/// A random involution over the ports of the given degree sequence: ports
+/// are paired up uniformly at random; with odd total port count (or with
+/// probability `loop_bias` per leftover pair decision) fixed points appear.
+/// Every output validates; loops and parallel edges are expected.
+[[nodiscard]] PortGraph random_port_graph(const std::vector<Port>& degrees,
+                                          Rng& rng, double fix_probability = 0.1);
+
+}  // namespace eds::port

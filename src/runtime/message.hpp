@@ -1,0 +1,33 @@
+// Messages exchanged by node programs.
+//
+// In the synchronous port-numbering model a node sends exactly one message
+// per port per round.  All algorithms in this library need only a small tag
+// plus up to three integer arguments, so Message is a fixed-size value type;
+// tag 0 ("silence") is the conventional empty message and is excluded from
+// traffic statistics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace eds::runtime {
+
+struct Message {
+  std::int32_t tag = 0;
+  std::array<std::int32_t, 3> arg{0, 0, 0};
+
+  [[nodiscard]] bool operator==(const Message&) const = default;
+  [[nodiscard]] bool is_silence() const noexcept { return tag == 0; }
+};
+
+/// The empty message.
+inline constexpr Message kSilence{};
+
+/// Builds a message from a tag and up to three arguments.
+[[nodiscard]] constexpr Message msg(std::int32_t tag, std::int32_t a0 = 0,
+                                    std::int32_t a1 = 0,
+                                    std::int32_t a2 = 0) noexcept {
+  return Message{tag, {a0, a1, a2}};
+}
+
+}  // namespace eds::runtime

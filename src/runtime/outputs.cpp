@@ -1,0 +1,73 @@
+#include "runtime/outputs.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eds::runtime {
+
+graph::EdgeSet validated_edge_set(const port::PortedGraph& pg,
+                                  const RunResult& result) {
+  const auto& g = pg.graph();
+  if (result.outputs.size() != g.num_nodes()) {
+    throw ExecutionError("validated_edge_set: node count mismatch");
+  }
+
+  // Membership lookup: claimed[v] is the sorted port list of v.
+  const auto& claimed = result.outputs;
+  auto claims = [&claimed](port::NodeId v, port::Port p) {
+    return std::binary_search(claimed[v].begin(), claimed[v].end(), p);
+  };
+
+  graph::EdgeSet out(g.num_edges());
+  for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const port::Port i : claimed[v]) {
+      const auto there = pg.ports().partner(v, i);
+      if (!claims(there.node, there.port)) {
+        std::ostringstream os;
+        os << "validated_edge_set: inconsistent output — node " << v
+           << " claims port " << i << " but node " << there.node
+           << " does not claim port " << there.port;
+        throw ExecutionError(os.str());
+      }
+      out.insert(pg.edge_at(v, i));
+    }
+  }
+  return out;
+}
+
+bool all_outputs_identical(const RunResult& result) {
+  if (result.outputs.empty()) return true;
+  const auto& first = result.outputs.front();
+  return std::all_of(result.outputs.begin(), result.outputs.end(),
+                     [&first](const auto& x) { return x == first; });
+}
+
+std::size_t validated_selection_size(const port::PortGraph& g,
+                                     const RunResult& result) {
+  if (result.outputs.size() != g.num_nodes()) {
+    throw ExecutionError("validated_selection_size: node count mismatch");
+  }
+  const auto& claimed = result.outputs;
+  auto claims = [&claimed](port::NodeId v, port::Port p) {
+    return std::binary_search(claimed[v].begin(), claimed[v].end(), p);
+  };
+
+  std::size_t selected = 0;
+  for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const port::Port i : claimed[v]) {
+      const auto there = g.partner(v, i);
+      if (!claims(there.node, there.port)) {
+        std::ostringstream os;
+        os << "validated_selection_size: inconsistent output at node " << v
+           << " port " << i;
+        throw ExecutionError(os.str());
+      }
+      // Count each structural edge once: from its lexicographically first
+      // port (fixed points count from themselves).
+      if (std::pair(v, i) <= std::pair(there.node, there.port)) ++selected;
+    }
+  }
+  return selected;
+}
+
+}  // namespace eds::runtime

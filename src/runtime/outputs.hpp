@@ -1,0 +1,33 @@
+// Translating distributed outputs into centralised edge sets.
+//
+// The paper requires algorithm outputs to be internally consistent:
+// if i ∈ X(v) and p(v, i) = (u, j), then j ∈ X(u).  validated_edge_set
+// enforces that requirement and converts the per-node port sets into an
+// EdgeSet over the underlying simple graph, where verifiers operate.
+#pragma once
+
+#include "graph/edge_set.hpp"
+#include "port/ported_graph.hpp"
+#include "runtime/runner.hpp"
+
+namespace eds::runtime {
+
+/// Converts per-node port outputs into the selected edge set, checking
+/// internal consistency; throws ExecutionError when an edge is claimed from
+/// one side only.
+[[nodiscard]] graph::EdgeSet validated_edge_set(const port::PortedGraph& pg,
+                                                const RunResult& result);
+
+/// True when every node announced exactly the same output (used by the
+/// covering-map experiments, where symmetry forces identical outputs).
+[[nodiscard]] bool all_outputs_identical(const RunResult& result);
+
+/// Port-level internal-consistency check that also works on multigraphs
+/// (where no SimpleGraph edge ids exist): i ∈ X(v) with p(v, i) = (u, j)
+/// requires j ∈ X(u).  Directed loops are trivially self-consistent.
+/// Returns the number of selected structural edges; throws ExecutionError
+/// on an inconsistency.
+[[nodiscard]] std::size_t validated_selection_size(const port::PortGraph& g,
+                                                   const RunResult& result);
+
+}  // namespace eds::runtime

@@ -1,0 +1,62 @@
+// The node-program abstraction: what one anonymous node runs.
+//
+// The interface enforces the port-numbering model of Section 2.2:
+//  * a program is created by a factory with no node identity;
+//  * at start it learns exactly one thing — its own degree;
+//  * each round it emits one message per port and then consumes one message
+//    per port;
+//  * at any point after a receive it may halt and expose its output
+//    X(v) ⊆ {1, ..., degree} (the ports of its chosen edges).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "port/port_graph.hpp"
+#include "runtime/message.hpp"
+
+namespace eds::runtime {
+
+using port::Port;
+
+/// 1-based round counter.
+using Round = std::uint32_t;
+
+/// One anonymous node's state machine.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once, before the first round.  `degree` is the only initial
+  /// knowledge a node has about the graph.
+  virtual void start(Port degree) = 0;
+
+  /// Produce the message for every port: `out[i - 1]` goes to port i.
+  /// `out.size()` equals the node degree.  Called only while not halted.
+  virtual void send(Round round, std::span<Message> out) = 0;
+
+  /// Consume the received messages: `in[i - 1]` arrived from port i.
+  /// May set the halted state.  Called only while not halted.
+  virtual void receive(Round round, std::span<const Message> in) = 0;
+
+  /// True once the node has stopped and announced its output.
+  [[nodiscard]] virtual bool halted() const = 0;
+
+  /// The announced output X(v): a set of 1-based port numbers.
+  /// Only meaningful once halted() is true.
+  [[nodiscard]] virtual std::vector<Port> output() const = 0;
+};
+
+/// Creates identical programs for every node — anonymity means the factory
+/// cannot specialise per node.
+class ProgramFactory {
+ public:
+  virtual ~ProgramFactory() = default;
+  [[nodiscard]] virtual std::unique_ptr<NodeProgram> create() const = 0;
+
+  /// Short human-readable algorithm name (for tables and traces).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace eds::runtime

@@ -1,0 +1,83 @@
+// The synchronous executor for the port-numbering model.
+//
+// SyncRunner implements Section 2.2 of the paper exactly: in each round every
+// non-halted node performs local computation, sends one message to each of
+// its ports, and receives one message from each of its ports; the involution
+// p routes traffic (including directed loops, where a node receives its own
+// message).  Halted nodes emit silence and ignore input.  The execution ends
+// when every node has halted, or fails with ExecutionError when the round
+// limit is exceeded (deterministic algorithms that do not halt would
+// otherwise loop forever).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "port/port_graph.hpp"
+#include "runtime/program.hpp"
+
+namespace eds::runtime {
+
+struct RunOptions {
+  /// Hard cap on rounds; exceeding it throws ExecutionError.
+  Round max_rounds = 100000;
+
+  /// Record a per-round trace (message counts, halts) in RunResult::trace.
+  bool collect_trace = false;
+
+  /// Record every delivered non-silence message in RunResult::message_log
+  /// (for transcripts and debugging; memory grows with traffic).
+  bool collect_messages = false;
+};
+
+/// One delivered message, as recorded by RunOptions::collect_messages.
+struct DeliveredMessage {
+  Round round = 0;
+  port::PortRef from;  ///< sender's (node, port)
+  port::PortRef to;    ///< receiver's (node, port)
+  Message payload;
+};
+
+/// Aggregate execution statistics.
+struct RunStats {
+  Round rounds = 0;                 ///< rounds until the last node halted
+  std::uint64_t messages_sent = 0;  ///< non-silence messages over all rounds
+  std::uint64_t ports_served = 0;   ///< total port-slots (incl. silence)
+};
+
+/// Per-round trace entry (only with RunOptions::collect_trace).
+struct RoundTrace {
+  Round round = 0;
+  std::uint64_t messages = 0;   ///< non-silence messages this round
+  std::size_t halted_nodes = 0; ///< cumulative halted count after the round
+};
+
+/// Execution outcome: every node's announced output plus statistics.
+struct RunResult {
+  std::vector<std::vector<Port>> outputs;  ///< X(v), sorted, per node
+  RunStats stats;
+  std::vector<RoundTrace> trace;
+  std::vector<DeliveredMessage> message_log;
+};
+
+/// Renders a recorded message log as a human-readable round-by-round
+/// transcript ("r3  (5,2) -> (7,1)  tag=3 [1 0 0]").
+[[nodiscard]] std::string format_transcript(const RunResult& result);
+
+/// Runs `factory`'s program on every node of `g` until all halt.
+[[nodiscard]] RunResult run_synchronous(const port::PortGraph& g,
+                                        const ProgramFactory& factory,
+                                        const RunOptions& options = {});
+
+/// Runs caller-provided per-node programs (programs[v] runs on node v).
+/// This is the entry point for *non-anonymous* models — e.g. the ID-model
+/// baselines of Section 1.3, where each node's program is seeded with a
+/// unique identifier.  The synchronous semantics are identical.
+[[nodiscard]] RunResult run_synchronous_programs(
+    const port::PortGraph& g,
+    std::vector<std::unique_ptr<NodeProgram>> programs,
+    const RunOptions& options = {}, const std::string& name = "custom");
+
+}  // namespace eds::runtime

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace eds::detail {
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << message << " [" << expr << " at "
+     << file << ":" << line << "]";
+  throw InternalError(os.str());
+}
+
+}  // namespace eds::detail

@@ -1,0 +1,61 @@
+// Error types and invariant-checking helpers shared across the library.
+//
+// The library follows a two-level policy (C++ Core Guidelines E.*):
+//  * Preconditions violated by the *caller* and invalid external inputs throw
+//    typed exceptions derived from eds::Error.
+//  * Internal invariants that can only fail due to a bug in this library are
+//    guarded with EDS_ENSURE, which throws eds::InternalError carrying the
+//    failing expression and source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eds {
+
+/// Base class of all exceptions thrown by the edsim library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A graph or port numbering failed structural validation.
+class InvalidStructure : public Error {
+ public:
+  explicit InvalidStructure(const std::string& what) : Error(what) {}
+};
+
+/// A distributed execution violated the model (e.g. a node program produced
+/// an inconsistent output, or the round limit was exceeded).
+class ExecutionError : public Error {
+ public:
+  explicit ExecutionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& message);
+}  // namespace detail
+
+}  // namespace eds
+
+/// Check an internal invariant; throws eds::InternalError on failure.
+/// Always enabled (the checks guard correctness arguments, not hot paths).
+#define EDS_ENSURE(expr, message)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::eds::detail::throw_internal(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,78 @@
+#include "util/fraction.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace eds {
+
+namespace {
+
+// Checked multiply; the ratios handled here are tiny, so overflow means a bug.
+std::int64_t mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw InternalError("Fraction arithmetic overflow");
+  }
+  return out;
+}
+
+std::int64_t add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw InternalError("Fraction arithmetic overflow");
+  }
+  return out;
+}
+
+}  // namespace
+
+Fraction::Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw InvalidArgument("Fraction: zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+std::string Fraction::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Fraction Fraction::operator+(const Fraction& rhs) const {
+  return Fraction(add(mul(num_, rhs.den_), mul(rhs.num_, den_)),
+                  mul(den_, rhs.den_));
+}
+
+Fraction Fraction::operator-(const Fraction& rhs) const {
+  return *this + Fraction(-rhs.num_, rhs.den_);
+}
+
+Fraction Fraction::operator*(const Fraction& rhs) const {
+  return Fraction(mul(num_, rhs.num_), mul(den_, rhs.den_));
+}
+
+Fraction Fraction::operator/(const Fraction& rhs) const {
+  if (rhs.num_ == 0) throw InvalidArgument("Fraction: division by zero");
+  return Fraction(mul(num_, rhs.den_), mul(den_, rhs.num_));
+}
+
+std::strong_ordering Fraction::operator<=>(const Fraction& rhs) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return mul(num_, rhs.den_) <=> mul(rhs.num_, den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+  os << f.num();
+  if (f.den() != 1) os << '/' << f.den();
+  return os;
+}
+
+}  // namespace eds

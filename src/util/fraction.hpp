@@ -1,0 +1,58 @@
+// Exact rational arithmetic for approximation-ratio bookkeeping.
+//
+// The paper's bounds (4 - 2/d, 4 - 6/(d+1), ...) are rationals, and the
+// tightness results state that measured ratios on the lower-bound
+// constructions are *exactly* these values.  Comparing floating-point
+// approximations would make those assertions fragile; Fraction keeps the
+// comparisons exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace eds {
+
+/// An exact rational number with 64-bit numerator/denominator, always stored
+/// in lowest terms with a positive denominator.
+class Fraction {
+ public:
+  constexpr Fraction() noexcept = default;
+
+  /// Constructs num/den; throws InvalidArgument if den == 0.
+  Fraction(std::int64_t num, std::int64_t den);
+
+  /// Implicit conversion from an integer (den = 1).
+  constexpr Fraction(std::int64_t num) noexcept : num_(num), den_(1) {}  // NOLINT
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Renders as "a/b" (or "a" when b == 1).
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] Fraction operator+(const Fraction& rhs) const;
+  [[nodiscard]] Fraction operator-(const Fraction& rhs) const;
+  [[nodiscard]] Fraction operator*(const Fraction& rhs) const;
+  [[nodiscard]] Fraction operator/(const Fraction& rhs) const;
+
+  [[nodiscard]] bool operator==(const Fraction& rhs) const noexcept {
+    return num_ == rhs.num_ && den_ == rhs.den_;
+  }
+  [[nodiscard]] std::strong_ordering operator<=>(const Fraction& rhs) const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f);
+
+}  // namespace eds

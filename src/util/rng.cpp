@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace eds {
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace eds

@@ -1,0 +1,19 @@
+#include "util/stats.hpp"
+
+#include "util/error.hpp"
+
+namespace eds {
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) throw InvalidArgument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) {
+    throw InvalidArgument("percentile: p must be in [0, 100]");
+  }
+  std::sort(sample.begin(), sample.end());
+  const auto n = sample.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return sample[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace eds

@@ -1,0 +1,46 @@
+// Small summary-statistics accumulator used by benches and experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace eds {
+
+/// Streaming summary of a sequence of doubles: count / min / max / mean /
+/// sample standard deviation (Welford's algorithm; numerically stable).
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  [[nodiscard]] double stddev() const noexcept {
+    if (count_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Percentile (nearest-rank) of a sample; p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> sample, double p);
+
+}  // namespace eds

@@ -1,0 +1,46 @@
+// Plain-text table rendering for the bench harness.
+//
+// The reproduction benches print paper-style tables (rows of Table 1, series
+// behind each figure).  TextTable collects rows of strings and renders them
+// with aligned columns; it also emits CSV for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eds {
+
+/// A simple column-aligned text table with an optional title and header.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (column names).
+  void header(std::vector<std::string> columns);
+
+  /// Appends a data row; must match the header width if a header is set.
+  void row(std::vector<std::string> cells);
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with aligned columns, a rule under the header, and the title.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header first if present); no quoting — callers must not
+  /// put commas in cells.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default three decimals).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace eds

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "baseline/baseline.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace eds::baseline {
+namespace {
+
+TEST(GreedyMaximalMatching, IsMaximal) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = graph::random_bounded_degree(30, 6, 60, rng);
+    const auto m = greedy_maximal_matching(g);
+    EXPECT_TRUE(analysis::is_maximal_matching(g, m));
+  }
+}
+
+TEST(GreedyMaximalMatching, EmptyGraph) {
+  EXPECT_TRUE(greedy_maximal_matching(graph::SimpleGraph(4)).empty());
+}
+
+TEST(RandomMaximalMatching, IsMaximalAndSeedStable) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto g = graph::complete(8);
+  const auto a = random_maximal_matching(g, rng1);
+  const auto b = random_maximal_matching(g, rng2);
+  EXPECT_TRUE(analysis::is_maximal_matching(g, a));
+  EXPECT_EQ(a, b);  // reproducible from the seed
+}
+
+TEST(MaximalMatching, TwoApproximationProperty) {
+  // Section 1.1: any maximal matching 2-approximates the minimum EDS.
+  Rng rng(29);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = graph::random_bounded_degree(14, 4, 22, rng);
+    if (g.num_edges() == 0) continue;
+    const auto optimum = exact::minimum_eds_size(g);
+    if (optimum == 0) continue;
+    const auto greedy = greedy_maximal_matching(g);
+    EXPECT_LE(analysis::approximation_ratio(greedy.size(), optimum),
+              Fraction(2));
+    auto child = rng.split();
+    const auto random = random_maximal_matching(g, child);
+    EXPECT_LE(analysis::approximation_ratio(random.size(), optimum),
+              Fraction(2));
+  }
+}
+
+TEST(GreedyEds, ProducesDominatingSet) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = graph::random_bounded_degree(24, 5, 40, rng);
+    const auto d = greedy_eds(g);
+    EXPECT_TRUE(analysis::is_edge_dominating_set(g, d));
+  }
+}
+
+TEST(GreedyEds, StarNeedsOneEdge) {
+  EXPECT_EQ(greedy_eds(graph::star(7)).size(), 1u);
+}
+
+TEST(GreedyEds, NeverWorseThanAllEdges) {
+  const auto g = graph::complete(7);
+  EXPECT_LT(greedy_eds(g).size(), g.num_edges());
+}
+
+TEST(IndependentEdsFrom, ConvertsWithoutGrowing) {
+  // The Section 1.1 conversion: EDS -> maximal matching of no greater size.
+  Rng rng(37);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto g = graph::random_bounded_degree(20, 5, 35, rng);
+    const auto d = greedy_eds(g);
+    const auto m = independent_eds_from(g, d);
+    EXPECT_TRUE(analysis::is_maximal_matching(g, m));
+    EXPECT_LE(m.size(), d.size());
+  }
+}
+
+TEST(IndependentEdsFrom, FixedPointOnMaximalMatchings) {
+  Rng rng(41);
+  const auto g = graph::random_regular(12, 3, rng);
+  const auto m = greedy_maximal_matching(g);
+  const auto m2 = independent_eds_from(g, m);
+  EXPECT_EQ(m2, m);
+}
+
+TEST(IndependentEdsFrom, RejectsNonEds) {
+  const auto g = graph::path(4);
+  EXPECT_THROW((void)independent_eds_from(g, graph::EdgeSet(3, {0})),
+               InvalidArgument);
+}
+
+TEST(IndependentEdsFrom, HandlesDenseOverlappingInput) {
+  // Feed it the *entire* edge set (a valid but very redundant EDS).
+  const auto g = graph::complete(6);
+  graph::EdgeSet all(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all.insert(e);
+  const auto m = independent_eds_from(g, all);
+  EXPECT_TRUE(analysis::is_maximal_matching(g, m));
+  EXPECT_EQ(m.size(), 3u);  // perfect matching of K_6
+}
+
+TEST(MinimumMaximalMatchingEqualsMinimumEds, OnSmallGraphs) {
+  // The equivalence the exact solver rests on, verified end to end: the
+  // brute-force minimum EDS converts into a maximal matching of equal size.
+  Rng rng(43);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = graph::random_bounded_degree(9, 3, 11, rng);
+    if (g.num_edges() == 0 || g.num_edges() > 14) continue;
+    const auto eds = exact::brute_force_minimum_eds(g);
+    const auto m = independent_eds_from(g, eds);
+    EXPECT_EQ(m.size(), eds.size());
+  }
+}
+
+}  // namespace
+}  // namespace eds::baseline

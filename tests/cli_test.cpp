@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "graph/io.hpp"
+#include "port/io.hpp"
+
+namespace eds::cli {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun invoke(const std::vector<std::string>& args,
+              const std::string& stdin_text = "") {
+  std::istringstream in(stdin_text);
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpAndUnknown) {
+  EXPECT_EQ(invoke({"help"}).code, 0);
+  EXPECT_NE(invoke({"help"}).out.find("usage"), std::string::npos);
+  EXPECT_EQ(invoke({}).code, 2);
+  EXPECT_EQ(invoke({"frobnicate"}).code, 2);
+}
+
+TEST(Cli, GenerateCycleParses) {
+  const auto run = invoke({"generate", "cycle", "6"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  const auto g = graph::from_edge_list_string(run.out);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_TRUE(g.is_regular(2));
+}
+
+TEST(Cli, GenerateRegularRespectsSeed) {
+  const auto a = invoke({"generate", "regular", "12", "3", "--seed", "5"});
+  const auto b = invoke({"generate", "regular", "12", "3", "--seed", "5"});
+  const auto c = invoke({"generate", "regular", "12", "3", "--seed", "6"});
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST(Cli, GenerateErrors) {
+  EXPECT_EQ(invoke({"generate"}).code, 2);
+  EXPECT_EQ(invoke({"generate", "nosuch", "4"}).code, 2);
+  EXPECT_EQ(invoke({"generate", "cycle", "2"}).code, 1);  // n < 3
+  EXPECT_EQ(invoke({"generate", "cycle"}).code, 2);       // missing n
+}
+
+TEST(Cli, SolvePipelineEndToEnd) {
+  const auto gen = invoke({"generate", "petersen"});
+  ASSERT_EQ(gen.code, 0);
+  const auto solve =
+      invoke({"solve", "--seed", "3", "--exact"}, gen.out);
+  ASSERT_EQ(solve.code, 0) << solve.err;
+  EXPECT_NE(solve.out.find("odd-regular"), std::string::npos);
+  EXPECT_NE(solve.out.find("edge-dominating: yes"), std::string::npos);
+  EXPECT_NE(solve.out.find("optimum: 3"), std::string::npos);
+  EXPECT_NE(solve.out.find("ratio:"), std::string::npos);
+}
+
+TEST(Cli, SolveExplicitAlgorithmAndDot) {
+  const auto gen = invoke({"generate", "torus", "3", "4"});
+  const auto solve = invoke(
+      {"solve", "--algorithm", "port-one", "--ports", "factor", "--dot"},
+      gen.out);
+  ASSERT_EQ(solve.code, 0) << solve.err;
+  // Factor ports force a whole 2-factor: |D| = |V| = 12.
+  EXPECT_NE(solve.out.find("solution: 12 edges"), std::string::npos);
+  EXPECT_NE(solve.out.find("graph solution {"), std::string::npos);
+}
+
+TEST(Cli, SolveRejectsBadInput) {
+  EXPECT_EQ(invoke({"solve"}, "garbage").code, 1);
+  const auto gen = invoke({"generate", "cycle", "5"});
+  EXPECT_EQ(invoke({"solve", "--algorithm", "nosuch"}, gen.out).code, 2);
+  EXPECT_EQ(invoke({"solve", "--ports", "nosuch"}, gen.out).code, 2);
+}
+
+TEST(Cli, LowerBoundEmitsValidPortGraph) {
+  const auto run = invoke({"lower-bound", "4"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  const auto g = port::from_port_graph_string(run.out);
+  EXPECT_EQ(g.num_nodes(), 7u);  // 2d - 1
+  EXPECT_NE(run.out.find("forced ratio 7/2"), std::string::npos);
+}
+
+TEST(Cli, LowerBoundOddAndErrors) {
+  const auto run = invoke({"lower-bound", "3"});
+  ASSERT_EQ(run.code, 0);
+  const auto g = port::from_port_graph_string(run.out);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(invoke({"lower-bound"}).code, 2);
+  EXPECT_EQ(invoke({"lower-bound", "1"}).code, 1);
+}
+
+TEST(Cli, RunPortgraphOnLowerBoundInstance) {
+  const auto lb = invoke({"lower-bound", "6"});
+  ASSERT_EQ(lb.code, 0);
+  const auto run = invoke(
+      {"run-portgraph", "--algorithm", "port-one"}, lb.out);
+  ASSERT_EQ(run.code, 0) << run.err;
+  // Forced to a full 2-factor: |V| = 11 selected edges.
+  EXPECT_NE(run.out.find("selected edges: 11"), std::string::npos);
+}
+
+TEST(Cli, RunPortgraphRequiresAlgorithm) {
+  const auto lb = invoke({"lower-bound", "4"});
+  EXPECT_EQ(invoke({"run-portgraph"}, lb.out).code, 2);
+}
+
+TEST(Cli, RunPortgraphTraceShowsTranscript) {
+  const auto lb = invoke({"lower-bound", "2"});
+  const auto run = invoke(
+      {"run-portgraph", "--algorithm", "port-one", "--trace"}, lb.out);
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("--- round 1 ---"), std::string::npos);
+  EXPECT_NE(run.out.find("tag="), std::string::npos);
+}
+
+TEST(Cli, ViewsOnLowerBoundInstance) {
+  const auto lb = invoke({"lower-bound", "4"});
+  const auto run = invoke({"views"}, lb.out);
+  ASSERT_EQ(run.code, 0) << run.err;
+  // Theorem 1 instance: all nodes are view-equivalent.
+  EXPECT_NE(run.out.find("classes: 1"), std::string::npos);
+}
+
+TEST(Cli, Table1IsTight) {
+  const auto run = invoke({"table1"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_EQ(run.out.find("NO"), std::string::npos);
+  EXPECT_NE(run.out.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eds::cli

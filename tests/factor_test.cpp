@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "factor/bipartite_matching.hpp"
+#include "factor/euler.hpp"
+#include "factor/two_factor.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "port/covering.hpp"
+#include "util/rng.hpp"
+
+namespace eds::factor {
+namespace {
+
+using graph::SimpleGraph;
+
+void expect_balanced_orientation(const SimpleGraph& g,
+                                 const std::vector<DirectedEdge>& oriented) {
+  ASSERT_EQ(oriented.size(), g.num_edges());
+  std::vector<std::size_t> out_deg(g.num_nodes(), 0);
+  std::vector<std::size_t> in_deg(g.num_nodes(), 0);
+  std::set<graph::EdgeId> seen;
+  for (const auto& de : oriented) {
+    EXPECT_TRUE(seen.insert(de.edge).second);
+    const auto& e = g.edge(de.edge);
+    EXPECT_TRUE((de.from == e.u && de.to == e.v) ||
+                (de.from == e.v && de.to == e.u));
+    ++out_deg[de.from];
+    ++in_deg[de.to];
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(out_deg[v], in_deg[v]) << "node " << v;
+    EXPECT_EQ(out_deg[v], g.degree(v) / 2);
+  }
+}
+
+TEST(Euler, CircuitOnCycle) {
+  const auto g = graph::cycle(7);
+  const auto circuit = euler_circuit(g, 0);
+  ASSERT_EQ(circuit.size(), 7u);
+  EXPECT_EQ(circuit.front().from, 0u);
+  EXPECT_EQ(circuit.back().to, 0u);
+  for (std::size_t i = 0; i + 1 < circuit.size(); ++i) {
+    EXPECT_EQ(circuit[i].to, circuit[i + 1].from);
+  }
+}
+
+TEST(Euler, CircuitCoversK5) {
+  const auto g = graph::complete(5);
+  const auto circuit = euler_circuit(g, 2);
+  ASSERT_EQ(circuit.size(), 10u);
+  std::set<graph::EdgeId> used;
+  for (const auto& de : circuit) used.insert(de.edge);
+  EXPECT_EQ(used.size(), 10u);
+  EXPECT_EQ(circuit.front().from, 2u);
+  EXPECT_EQ(circuit.back().to, 2u);
+}
+
+TEST(Euler, OddDegreeRejected) {
+  EXPECT_THROW((void)euler_circuit(graph::path(3), 0), InvalidArgument);
+  EXPECT_THROW((void)euler_orientation(graph::complete(4)), InvalidArgument);
+}
+
+TEST(Euler, IsolatedStartRejected) {
+  const SimpleGraph g(3);
+  EXPECT_THROW((void)euler_circuit(g, 0), InvalidArgument);
+}
+
+TEST(Euler, OrientationBalancedOnEvenGraphs) {
+  Rng rng(3);
+  expect_balanced_orientation(graph::cycle(9),
+                              euler_orientation(graph::cycle(9)));
+  expect_balanced_orientation(graph::complete(7),
+                              euler_orientation(graph::complete(7)));
+  expect_balanced_orientation(graph::torus(4, 4),
+                              euler_orientation(graph::torus(4, 4)));
+  const auto rr = graph::random_regular(18, 6, rng);
+  expect_balanced_orientation(rr, euler_orientation(rr));
+}
+
+TEST(Euler, OrientationHandlesDisconnectedComponents) {
+  const auto g = graph::disjoint_union(graph::cycle(4), graph::cycle(5));
+  expect_balanced_orientation(g, euler_orientation(g));
+}
+
+TEST(HopcroftKarp, PerfectMatchingInCompleteBipartite) {
+  BipartiteGraph b{4, 4, {}};
+  for (std::uint32_t l = 0; l < 4; ++l) {
+    for (std::uint32_t r = 0; r < 4; ++r) b.edges.push_back({l, r});
+  }
+  EXPECT_EQ(max_matching_size(b), 4u);
+  const auto pm = perfect_matching(b);
+  std::set<std::uint32_t> rights;
+  for (const auto e : pm) rights.insert(b.edges[e].second);
+  EXPECT_EQ(rights.size(), 4u);
+}
+
+TEST(HopcroftKarp, MaximumNotPerfect) {
+  // A path l0-r0-l1: maximum matching 1.
+  BipartiteGraph b{2, 1, {{0, 0}, {1, 0}}};
+  EXPECT_EQ(max_matching_size(b), 1u);
+  EXPECT_THROW((void)perfect_matching(BipartiteGraph{2, 2, {{0, 0}, {1, 0}}}),
+               InvalidStructure);
+}
+
+TEST(HopcroftKarp, HandlesParallelEdges) {
+  BipartiteGraph b{2, 2, {{0, 0}, {0, 0}, {1, 1}}};
+  EXPECT_EQ(max_matching_size(b), 2u);
+}
+
+TEST(HopcroftKarp, EndpointRangeChecked) {
+  BipartiteGraph b{1, 1, {{0, 1}}};
+  EXPECT_THROW((void)hopcroft_karp(b), InvalidArgument);
+}
+
+TEST(HopcroftKarp, LargeRandomAgainstRegularBound) {
+  Rng rng(5);
+  // Regular bipartite graphs always have perfect matchings (König).
+  for (const std::size_t d : {2u, 3u, 5u}) {
+    const auto g = graph::random_bipartite_regular(20, d, rng);
+    BipartiteGraph b{20, 20, {}};
+    for (const auto& e : g.edges()) {
+      b.edges.push_back({e.u, e.v - 20});
+    }
+    EXPECT_EQ(max_matching_size(b), 20u);
+  }
+}
+
+TEST(Decompose, RegularBipartiteSplitsIntoPerfectMatchings) {
+  Rng rng(6);
+  const auto g = graph::random_bipartite_regular(12, 4, rng);
+  BipartiteGraph b{12, 12, {}};
+  for (const auto& e : g.edges()) b.edges.push_back({e.u, e.v - 12});
+  const auto colours = decompose_regular_bipartite(b);
+  ASSERT_EQ(colours.size(), 4u);
+  std::set<std::size_t> all;
+  for (const auto& colour : colours) {
+    ASSERT_EQ(colour.size(), 12u);
+    std::set<std::uint32_t> lefts;
+    std::set<std::uint32_t> rights;
+    for (const auto e : colour) {
+      EXPECT_TRUE(all.insert(e).second);  // colours partition the edges
+      lefts.insert(b.edges[e].first);
+      rights.insert(b.edges[e].second);
+    }
+    EXPECT_EQ(lefts.size(), 12u);
+    EXPECT_EQ(rights.size(), 12u);
+  }
+  EXPECT_EQ(all.size(), b.edges.size());
+}
+
+TEST(Decompose, RejectsIrregular) {
+  BipartiteGraph b{2, 2, {{0, 0}, {0, 1}, {1, 0}}};
+  EXPECT_THROW((void)decompose_regular_bipartite(b), InvalidArgument);
+}
+
+void expect_valid_two_factorisation(const SimpleGraph& g,
+                                    const TwoFactorisation& tf) {
+  const std::size_t k = g.num_nodes() == 0 ? 0 : g.degree(0) / 2;
+  ASSERT_EQ(tf.k(), k);
+  std::set<graph::EdgeId> all;
+  for (const auto& factor : tf.factors) {
+    ASSERT_EQ(factor.out.size(), g.num_nodes());
+    std::vector<std::size_t> in_deg(g.num_nodes(), 0);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& de = factor.out[v];
+      EXPECT_EQ(de.from, v);
+      EXPECT_TRUE(all.insert(de.edge).second);
+      ++in_deg[de.to];
+      const auto& e = g.edge(de.edge);
+      EXPECT_TRUE((de.from == e.u && de.to == e.v) ||
+                  (de.from == e.v && de.to == e.u));
+    }
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(in_deg[v], 1u);
+    }
+  }
+  EXPECT_EQ(all.size(), g.num_edges());
+}
+
+TEST(TwoFactor, Cycle) {
+  const auto g = graph::cycle(8);
+  expect_valid_two_factorisation(g, two_factorise(g));
+}
+
+TEST(TwoFactor, K5) {
+  const auto g = graph::complete(5);
+  expect_valid_two_factorisation(g, two_factorise(g));
+}
+
+TEST(TwoFactor, Torus) {
+  const auto g = graph::torus(3, 5);
+  expect_valid_two_factorisation(g, two_factorise(g));
+}
+
+TEST(TwoFactor, RandomRegularSweep) {
+  Rng rng(7);
+  for (const std::size_t d : {2u, 4u, 6u, 8u}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto g = graph::random_regular(d + 7, d, rng);
+      expect_valid_two_factorisation(g, two_factorise(g));
+    }
+  }
+}
+
+TEST(TwoFactor, DisconnectedEvenRegular) {
+  const auto g = graph::disjoint_union(graph::cycle(4), graph::cycle(6));
+  expect_valid_two_factorisation(g, two_factorise(g));
+}
+
+TEST(TwoFactor, RejectsOddRegular) {
+  EXPECT_THROW((void)two_factorise(graph::petersen()), InvalidArgument);
+}
+
+TEST(TwoFactor, RejectsIrregular) {
+  EXPECT_THROW((void)two_factorise(graph::grid(3, 3)), InvalidArgument);
+}
+
+TEST(TwoFactor, EdgeSetViewMatches) {
+  const auto g = graph::complete(5);
+  const auto tf = two_factorise(g);
+  std::size_t total = 0;
+  for (const auto& factor : tf.factors) {
+    total += factor.edge_set(g.num_edges()).size();
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(FactorPorts, PairsPortsAsInThePaper) {
+  // For each directed edge (u, v) of factor i: p(u, 2i-1) = (v, 2i).
+  Rng rng(8);
+  const auto g = graph::random_regular(11, 6, rng);
+  const auto pg = with_factor_ports(g);
+  pg.ports().validate();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (port::Port i = 1; i <= 6; i += 2) {
+      const auto there = pg.ports().partner(v, i);
+      EXPECT_EQ(there.port, i + 1) << "odd ports must pair with even ports";
+    }
+  }
+}
+
+TEST(FactorPorts, InducedPortsCoverTheOneNodeMultigraph) {
+  // Every even-regular graph with factor ports covers the one-node
+  // multigraph with p(x, 2i-1) <-> (x, 2i): the heart of Theorem 1.
+  const auto g = graph::torus(3, 4);
+  const auto pg = with_factor_ports(g);
+  port::PortGraphBuilder mb({4});
+  mb.connect({0, 1}, {0, 2});
+  mb.connect({0, 3}, {0, 4});
+  const auto base = mb.build();
+  const std::vector<graph::NodeId> f(g.num_nodes(), 0);
+  EXPECT_TRUE(port::is_covering_map(pg.ports(), base, f));
+}
+
+}  // namespace
+}  // namespace eds::factor

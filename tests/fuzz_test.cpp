@@ -1,0 +1,119 @@
+// Randomised structural fuzzing: arbitrary port-numbered multigraphs
+// (random involutions with loops and parallel edges) pushed through the
+// runtime and the standalone algorithms.  Checks are structural — validity
+// of involutions, internal consistency of outputs, graceful failure — since
+// no centralised edge-set semantics exist on multigraphs.
+#include <gtest/gtest.h>
+
+#include "algo/double_cover.hpp"
+#include "algo/driver.hpp"
+#include "algo/port_one.hpp"
+#include "port/random_port_graph.hpp"
+#include "port/views.hpp"
+#include "runtime/outputs.hpp"
+#include "runtime/runner.hpp"
+#include "util/rng.hpp"
+
+namespace eds {
+namespace {
+
+std::vector<port::Port> random_degrees(Rng& rng, std::size_t n,
+                                       port::Port max_degree) {
+  std::vector<port::Port> degrees(n);
+  for (auto& d : degrees) {
+    d = static_cast<port::Port>(rng.below(max_degree + 1));
+  }
+  return degrees;
+}
+
+TEST(Fuzz, RandomInvolutionsAlwaysValidate) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = port::random_port_graph(random_degrees(rng, 12, 6), rng);
+    EXPECT_NO_THROW(g.validate());
+    // port_edges partitions the ports: every port appears exactly once.
+    std::size_t accounted = 0;
+    for (const auto& pe : g.port_edges()) {
+      accounted += pe.directed_loop ? 1 : 2;
+    }
+    EXPECT_EQ(accounted, g.num_ports());
+  }
+}
+
+TEST(Fuzz, DoubleCoverOnMultigraphsIsConsistent) {
+  // The 2-matching algorithm runs on arbitrary port-numbered multigraphs;
+  // outputs must be internally consistent at the port level.
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto g = port::random_port_graph(random_degrees(rng, 10, 5), rng);
+    const algo::DoubleCoverFactory factory(5);
+    const auto result = runtime::run_synchronous(g, factory);
+    EXPECT_NO_THROW((void)runtime::validated_selection_size(g, result))
+        << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, PortOneOnRegularMultigraphsIsConsistent) {
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto degrees = std::vector<port::Port>(8, 4);  // 4-regular
+    const auto g = port::random_port_graph(degrees, rng, 0.2);
+    const algo::PortOneFactory factory;
+    const auto result = runtime::run_synchronous(g, factory);
+    const auto selected = runtime::validated_selection_size(g, result);
+    EXPECT_GE(selected, 1u);  // some port 1 always selects something
+  }
+}
+
+TEST(Fuzz, ViewRefinementTerminatesOnArbitraryMultigraphs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = port::random_port_graph(random_degrees(rng, 14, 5), rng);
+    const auto stable = port::stable_view_classes(g);
+    EXPECT_EQ(stable.size(), g.num_nodes());
+    EXPECT_LE(port::num_classes(stable), g.num_nodes());
+    // Refining further cannot split classes.
+    EXPECT_EQ(port::num_classes(port::view_classes(g, g.num_nodes() + 3)),
+              port::num_classes(stable));
+  }
+}
+
+TEST(Fuzz, ViewEqualityImpliesOutputEqualityOnMultigraphs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = port::random_port_graph(random_degrees(rng, 10, 4), rng);
+    const auto stable = port::stable_view_classes(g);
+    const algo::DoubleCoverFactory factory(4);
+    const auto result = runtime::run_synchronous(g, factory);
+    for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+      for (std::size_t u = v + 1; u < g.num_nodes(); ++u) {
+        if (stable[v] == stable[u]) {
+          EXPECT_EQ(result.outputs[v], result.outputs[u]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, SelectionSizeDetectsInconsistentOutputs) {
+  // Hand-craft an inconsistent result to prove the checker bites.
+  port::PortGraphBuilder b({1, 1});
+  b.connect({0, 1}, {1, 1});
+  const auto g = b.build();
+  runtime::RunResult result;
+  result.outputs = {{1}, {}};  // node 0 claims the edge, node 1 does not
+  EXPECT_THROW((void)runtime::validated_selection_size(g, result),
+               ExecutionError);
+}
+
+TEST(Fuzz, DirectedLoopSelectionIsSelfConsistent) {
+  port::PortGraphBuilder b({1});
+  b.fix({0, 1});
+  const auto g = b.build();
+  runtime::RunResult result;
+  result.outputs = {{1}};
+  EXPECT_EQ(runtime::validated_selection_size(g, result), 1u);
+}
+
+}  // namespace
+}  // namespace eds

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/driver.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::graph {
+namespace {
+
+TEST(GeneratorsExtra, PrismIsThreeRegular) {
+  for (const std::size_t n : {3u, 4u, 7u}) {
+    const auto g = prism(n);
+    EXPECT_EQ(g.num_nodes(), 2 * n);
+    EXPECT_TRUE(g.is_regular(3));
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(is_bipartite(g), n % 2 == 0);
+  }
+  EXPECT_THROW((void)prism(2), InvalidArgument);
+}
+
+TEST(GeneratorsExtra, MoebiusLadder) {
+  const auto k4 = moebius_ladder(2);
+  EXPECT_TRUE(k4.is_regular(3));
+  EXPECT_EQ(k4.num_edges(), 6u);  // K_4
+  // A chord plus the n-edge arc between its endpoints closes an
+  // (n+1)-cycle, so M_n is bipartite iff n is odd.
+  const auto m5 = moebius_ladder(5);
+  EXPECT_TRUE(m5.is_regular(3));
+  EXPECT_TRUE(is_bipartite(m5));
+  const auto m4 = moebius_ladder(4);
+  EXPECT_FALSE(is_bipartite(m4));
+  EXPECT_THROW((void)moebius_ladder(1), InvalidArgument);
+}
+
+TEST(GeneratorsExtra, Wheel) {
+  const auto g = wheel(6);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.degree(6), 6u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_THROW((void)wheel(2), InvalidArgument);
+}
+
+TEST(GeneratorsExtra, CompleteMultipartite) {
+  const auto g = complete_multipartite({2, 2, 2});  // K_{2,2,2}: octahedron
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_THROW((void)complete_multipartite({}), InvalidArgument);
+  EXPECT_THROW((void)complete_multipartite({2, 0}), InvalidArgument);
+}
+
+TEST(GeneratorsExtra, Barbell) {
+  const auto g = barbell(4, 3);
+  EXPECT_EQ(g.num_nodes(), 10u);  // 2*4 cliques + 2 bridge nodes
+  EXPECT_TRUE(is_connected(g));
+  const auto direct = barbell(3, 1);  // cliques joined by a single edge
+  EXPECT_EQ(direct.num_nodes(), 6u);
+  EXPECT_TRUE(is_connected(direct));
+  const auto disjoint = barbell(3, 0);
+  EXPECT_EQ(num_components(disjoint), 2u);
+}
+
+TEST(GeneratorsExtra, OddRegularFamiliesSolveCleanly) {
+  // Deterministic 3-regular families through the full pipeline.
+  Rng rng(21);
+  for (const auto& g :
+       {prism(5), prism(6), moebius_ladder(4), moebius_ladder(6)}) {
+    const auto pg = port::with_random_ports(g, rng);
+    const auto outcome =
+        algo::run_algorithm(pg, algo::Algorithm::kOddRegular, 3);
+    EXPECT_TRUE(analysis::is_edge_dominating_set(g, outcome.solution));
+    const auto optimum = exact::minimum_eds_size(g);
+    EXPECT_LE(outcome.solution.size() * 2, optimum * 5);  // ratio <= 5/2
+  }
+}
+
+TEST(GeneratorsExtra, WheelSolvesViaBoundedDegree) {
+  Rng rng(22);
+  const auto g = wheel(8);
+  const auto pg = port::with_random_ports(g, rng);
+  const auto outcome = algo::run_algorithm(
+      pg, algo::Algorithm::kBoundedDegree, 8);
+  EXPECT_TRUE(analysis::is_edge_dominating_set(g, outcome.solution));
+}
+
+TEST(GeneratorsExtra, RandomRegularIsWellMixed) {
+  // The double-edge-swap randomiser must actually change the seed circulant.
+  Rng rng(23);
+  const auto a = random_regular(24, 4, rng);
+  const auto b = random_regular(24, 4, rng);
+  std::size_t common = 0;
+  for (const auto& e : a.edges()) {
+    if (b.has_edge(e.u, e.v)) ++common;
+  }
+  EXPECT_LT(common, a.num_edges());  // overwhelmingly unlikely to coincide
+}
+
+TEST(GeneratorsExtra, RandomRegularHighDegree) {
+  // Degrees that defeat configuration-model rejection must still work.
+  Rng rng(24);
+  for (const std::size_t d : {6u, 8u, 10u, 12u}) {
+    const auto g = random_regular(2 * d + 2, d, rng);
+    EXPECT_TRUE(g.is_regular(d)) << "d=" << d;
+  }
+}
+
+TEST(Dot, ExportContainsAllEdges) {
+  const auto g = cycle(4);
+  EdgeSet highlight(4, {0});
+  std::ostringstream os;
+  write_dot(os, g, &highlight, "C4");
+  const auto text = os.str();
+  EXPECT_NE(text.find("graph C4"), std::string::npos);
+  EXPECT_NE(text.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(text.find("color=red"), std::string::npos);
+}
+
+TEST(Dot, NoHighlight) {
+  std::ostringstream os;
+  write_dot(os, path(3));
+  EXPECT_EQ(os.str().find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eds::graph

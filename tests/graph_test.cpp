@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/edge_set.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace eds::graph {
+namespace {
+
+TEST(SimpleGraph, EmptyGraph) {
+  const SimpleGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(g.is_regular(0));
+}
+
+TEST(SimpleGraph, FromEdgesNormalises) {
+  const auto g = SimpleGraph::from_edges(3, {{2, 0}, {1, 2}});
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(SimpleGraph, RejectsLoops) {
+  EXPECT_THROW((void)SimpleGraph::from_edges(2, {{1, 1}}), InvalidStructure);
+}
+
+TEST(SimpleGraph, RejectsParallelEdges) {
+  EXPECT_THROW((void)SimpleGraph::from_edges(2, {{0, 1}, {1, 0}}),
+               InvalidStructure);
+}
+
+TEST(SimpleGraph, RejectsOutOfRange) {
+  EXPECT_THROW((void)SimpleGraph::from_edges(2, {{0, 2}}), InvalidStructure);
+}
+
+TEST(SimpleGraph, FindEdge) {
+  const auto g = SimpleGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.find_edge(2, 1), EdgeId{1});
+  EXPECT_EQ(g.find_edge(0, 3), std::nullopt);
+  EXPECT_TRUE(g.has_edge(3, 2));
+}
+
+TEST(SimpleGraph, EdgeOther) {
+  const Edge e{3, 7};
+  EXPECT_EQ(e.other(3), 7u);
+  EXPECT_EQ(e.other(7), 3u);
+  EXPECT_THROW((void)e.other(5), InvalidArgument);
+}
+
+TEST(SimpleGraph, EdgeAdjacency) {
+  const Edge e{1, 2};
+  EXPECT_TRUE(e.adjacent_to(Edge{2, 3}));
+  EXPECT_FALSE(e.adjacent_to(Edge{3, 4}));
+}
+
+TEST(SimpleGraph, IncidencesSorted) {
+  const auto g = SimpleGraph::from_edges(4, {{0, 3}, {0, 1}, {0, 2}});
+  const auto inc = g.incidences(0);
+  ASSERT_EQ(inc.size(), 3u);
+  EXPECT_EQ(inc[0].neighbour, 1u);
+  EXPECT_EQ(inc[1].neighbour, 2u);
+  EXPECT_EQ(inc[2].neighbour, 3u);
+}
+
+TEST(GraphBuilder, BoundsCheckedEagerly) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), InvalidArgument);
+}
+
+TEST(EdgeSet, InsertEraseContains) {
+  EdgeSet s(5);
+  EXPECT_TRUE(s.insert(2));
+  EXPECT_FALSE(s.insert(2));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_FALSE(s.erase(2));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(EdgeSet, SetAlgebra) {
+  EdgeSet a(4, {0, 1});
+  EdgeSet b(4, {1, 2});
+  EXPECT_EQ(a.set_union(b).to_vector(), (std::vector<EdgeId>{0, 1, 2}));
+  EXPECT_EQ(a.set_intersection(b).to_vector(), (std::vector<EdgeId>{1}));
+  EXPECT_EQ(a.set_difference(b).to_vector(), (std::vector<EdgeId>{0}));
+}
+
+TEST(EdgeSet, UniverseMismatchThrows) {
+  EdgeSet a(4);
+  EdgeSet b(5);
+  EXPECT_THROW((void)a.set_union(b), InvalidArgument);
+}
+
+TEST(EdgeSet, DegreeAndCover) {
+  const auto g = SimpleGraph::from_edges(3, {{0, 1}, {1, 2}});
+  EdgeSet s(2, {0});
+  EXPECT_EQ(degree_in_set(g, s, 1), 1u);
+  EXPECT_TRUE(covers_node(g, s, 0));
+  EXPECT_FALSE(covers_node(g, s, 2));
+}
+
+TEST(Generators, Path) {
+  const auto g = path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_forest(g));
+}
+
+TEST(Generators, Cycle) {
+  const auto g = cycle(6);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_forest(g));
+  EXPECT_THROW((void)cycle(2), InvalidArgument);
+}
+
+TEST(Generators, Complete) {
+  const auto g = complete(6);
+  EXPECT_TRUE(g.is_regular(5));
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const auto g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(3), 3u);
+}
+
+TEST(Generators, Star) {
+  const auto g = star(7);
+  EXPECT_EQ(g.degree(0), 7u);
+  EXPECT_EQ(g.max_degree(), 7u);
+  EXPECT_TRUE(is_forest(g));
+}
+
+TEST(Generators, CrownIsRegularBipartite) {
+  const auto g = crown(4);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_FALSE(g.has_edge(0, 4));  // the removed perfect matching
+}
+
+TEST(Generators, Hypercube) {
+  const auto g = hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid) {
+  const auto g = grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const auto g = torus(4, 5);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW((void)torus(2, 5), InvalidArgument);
+}
+
+TEST(Generators, Circulant) {
+  const auto g = circulant(10, {1, 2});
+  EXPECT_TRUE(g.is_regular(4));
+  const auto h = circulant(10, {5});  // antipodal offset: degree 1
+  EXPECT_TRUE(h.is_regular(1));
+  EXPECT_THROW((void)circulant(10, {0}), InvalidArgument);
+  EXPECT_THROW((void)circulant(10, {6}), InvalidArgument);
+  EXPECT_THROW((void)circulant(10, {2, 2}), InvalidArgument);
+}
+
+TEST(Generators, Petersen) {
+  const auto g = petersen();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(Generators, RandomTree) {
+  Rng rng(1);
+  const auto g = random_tree(40, rng);
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_forest(g));
+}
+
+TEST(Generators, RandomRegularParities) {
+  Rng rng(2);
+  for (const std::size_t d : {2u, 3u, 4u, 5u, 6u}) {
+    const std::size_t n = d % 2 == 0 ? 15 : 16;
+    const auto g = random_regular(n, d, rng);
+    EXPECT_TRUE(g.is_regular(d)) << "d=" << d;
+  }
+  EXPECT_THROW((void)random_regular(7, 3, rng), InvalidArgument);  // odd n*d
+  EXPECT_THROW((void)random_regular(4, 4, rng), InvalidArgument);  // d >= n
+}
+
+TEST(Generators, RandomRegularZeroDegree) {
+  Rng rng(3);
+  const auto g = random_regular(5, 0, rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, RandomBoundedDegreeRespectsCap) {
+  Rng rng(4);
+  const auto g = random_bounded_degree(60, 4, 100, rng);
+  EXPECT_LE(g.max_degree(), 4u);
+  EXPECT_GT(g.num_edges(), 50u);  // dense enough to be a useful workload
+}
+
+TEST(Generators, RandomBipartiteRegular) {
+  Rng rng(5);
+  const auto g = random_bipartite_regular(10, 3, rng);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, DisjointUnion) {
+  const auto g = disjoint_union(cycle(3), path(3));
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(num_components(g), 2u);
+}
+
+TEST(Properties, ComponentsAndConnectivity) {
+  const auto g = disjoint_union(cycle(4), cycle(5));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[4]);
+  EXPECT_EQ(num_components(g), 2u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, BipartitionOddCycle) {
+  EXPECT_FALSE(is_bipartite(cycle(5)));
+  EXPECT_TRUE(is_bipartite(cycle(6)));
+}
+
+TEST(Properties, BipartitionIsProper) {
+  const auto g = hypercube(3);
+  const auto colour = bipartition(g);
+  ASSERT_TRUE(colour.has_value());
+  for (const auto& e : g.edges()) {
+    EXPECT_NE((*colour)[e.u], (*colour)[e.v]);
+  }
+}
+
+TEST(Properties, DegreeHistogram) {
+  const auto g = star(4);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(Io, RoundTrip) {
+  Rng rng(6);
+  const auto g = random_regular(12, 3, rng);
+  const auto text = to_edge_list_string(g);
+  const auto h = from_edge_list_string(text);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e), g.edge(e));
+  }
+}
+
+TEST(Io, CommentsAndWhitespaceIgnored) {
+  const auto g =
+      from_edge_list_string("# a comment\n3 2\n\n0 1\n# another\n1 2\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, TruncatedInputThrows) {
+  EXPECT_THROW((void)from_edge_list_string("3 2\n0 1\n"), InvalidStructure);
+}
+
+TEST(Io, MalformedHeaderThrows) {
+  EXPECT_THROW((void)from_edge_list_string("nope\n"), InvalidStructure);
+}
+
+TEST(Io, OutOfRangeEndpointThrows) {
+  EXPECT_THROW((void)from_edge_list_string("2 1\n0 5\n"), InvalidStructure);
+}
+
+}  // namespace
+}  // namespace eds::graph

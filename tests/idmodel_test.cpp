@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/generators.hpp"
+#include "idmodel/forest_matching.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::idmodel {
+namespace {
+
+TEST(CvIterations, KnownValues) {
+  EXPECT_EQ(cv_iterations(1), 0u);
+  EXPECT_EQ(cv_iterations(3), 0u);
+  EXPECT_EQ(cv_iterations(4), 1u);   // 4 bits -> colours < 8 after one step
+  EXPECT_EQ(cv_iterations(8), 2u);   // 8 -> 4 -> 3
+  EXPECT_EQ(cv_iterations(16), 3u);  // 16 -> 5 -> 4 -> 3
+  EXPECT_EQ(cv_iterations(31), 3u);  // 31 -> 6 -> 4 -> 3
+}
+
+TEST(CvIterations, MonotoneAndLogStarFlat) {
+  for (std::uint32_t b = 1; b < 31; ++b) {
+    EXPECT_LE(cv_iterations(b), cv_iterations(b + 1));
+  }
+  // The log* hallmark: doubling the id space barely moves the count.
+  EXPECT_LE(cv_iterations(31) - cv_iterations(8), 1u);
+}
+
+TEST(ForestMatching, ProducesMaximalMatchings) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = graph::random_bounded_degree(30, 5, 60, rng);
+    const auto pg = port::with_random_ports(g, rng);
+    const auto outcome = run_forest_matching(pg);
+    EXPECT_TRUE(analysis::is_maximal_matching(g, outcome.matching))
+        << "trial " << trial;
+  }
+}
+
+TEST(ForestMatching, TwoApproximation) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = graph::random_bounded_degree(14, 4, 22, rng);
+    if (g.num_edges() == 0) continue;
+    const auto pg = port::with_random_ports(g, rng);
+    const auto outcome = run_forest_matching(pg);
+    const auto optimum = exact::minimum_eds_size(g);
+    if (optimum == 0) continue;
+    EXPECT_LE(analysis::approximation_ratio(outcome.matching.size(), optimum),
+              Fraction(2));
+  }
+}
+
+TEST(ForestMatching, StructuredFamilies) {
+  Rng rng(3);
+  for (const auto& g :
+       {graph::petersen(), graph::torus(4, 5), graph::complete(8),
+        graph::grid(3, 6), graph::hypercube(4)}) {
+    const auto pg = port::with_random_ports(g, rng);
+    const auto outcome = run_forest_matching(pg);
+    EXPECT_TRUE(analysis::is_maximal_matching(g, outcome.matching));
+  }
+}
+
+TEST(ForestMatching, ArbitraryDistinctIdsWork) {
+  Rng rng(4);
+  const auto g = graph::random_regular(16, 4, rng);
+  const auto pg = port::with_random_ports(g, rng);
+  // Non-contiguous, shuffled ids in a 20-bit space.
+  std::vector<std::uint32_t> ids(g.num_nodes());
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    ids[v] = static_cast<std::uint32_t>(v * 37 + 11);
+  }
+  rng.shuffle(ids);
+  const auto outcome = run_forest_matching(pg, ids, 20, 4);
+  EXPECT_TRUE(analysis::is_maximal_matching(g, outcome.matching));
+}
+
+TEST(ForestMatching, RoundsDependOnIdSpace) {
+  // The paper's Section 1.3 contrast: with IDs the round count grows with
+  // the id space (the log* term), unlike the anonymous algorithms.
+  Rng rng(5);
+  const auto g = graph::random_regular(12, 3, rng);
+  const auto pg = port::with_random_ports(g, rng);
+  std::vector<std::uint32_t> ids(g.num_nodes());
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    ids[v] = static_cast<std::uint32_t>(v);
+  }
+  const auto small = run_forest_matching(pg, ids, 4, 3);
+  const auto large = run_forest_matching(pg, ids, 31, 3);
+  EXPECT_LT(small.stats.rounds, large.stats.rounds);
+  EXPECT_EQ(small.stats.rounds, forest_matching_schedule(3, 4));
+  EXPECT_EQ(large.stats.rounds, forest_matching_schedule(3, 31));
+}
+
+TEST(ForestMatching, RejectsDuplicateIds) {
+  const auto pg = port::with_canonical_ports(graph::path(3));
+  const std::vector<std::uint32_t> ids{1, 1, 2};
+  EXPECT_THROW((void)run_forest_matching(pg, ids, 8, 2), InternalError);
+}
+
+TEST(ForestMatching, RejectsOutOfSpaceIds) {
+  const auto pg = port::with_canonical_ports(graph::path(3));
+  const std::vector<std::uint32_t> ids{1, 2, 300};
+  EXPECT_THROW((void)run_forest_matching(pg, ids, 8, 2), InvalidArgument);
+}
+
+TEST(ForestMatching, RejectsWrongIdCount) {
+  const auto pg = port::with_canonical_ports(graph::path(3));
+  EXPECT_THROW((void)run_forest_matching(pg, {1, 2}, 8, 2), InvalidArgument);
+}
+
+TEST(ForestMatching, EmptyAndTinyGraphs) {
+  const auto empty = port::with_canonical_ports(graph::SimpleGraph(4));
+  EXPECT_EQ(run_forest_matching(empty).matching.size(), 0u);
+
+  const auto single = port::with_canonical_ports(graph::path(2));
+  const auto outcome = run_forest_matching(single);
+  EXPECT_EQ(outcome.matching.size(), 1u);
+}
+
+TEST(ForestMatching, IdPermutationChangesNothingStructural) {
+  // Different id assignments may give different matchings, but always
+  // maximal ones.
+  Rng rng(6);
+  const auto g = graph::random_regular(14, 3, rng);
+  const auto pg = port::with_random_ports(g, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto perm = rng.permutation(g.num_nodes());
+    std::vector<std::uint32_t> ids(perm.size());
+    for (std::size_t v = 0; v < perm.size(); ++v) {
+      ids[v] = static_cast<std::uint32_t>(perm[v]);
+    }
+    const auto outcome = run_forest_matching(pg, ids, 8, 3);
+    EXPECT_TRUE(analysis::is_maximal_matching(g, outcome.matching));
+  }
+}
+
+}  // namespace
+}  // namespace eds::idmodel

@@ -1,0 +1,160 @@
+// End-to-end integration sweeps: every algorithm x every graph family x
+// several port numberings, checked for feasibility, guarantee and locality.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/bounded_degree.hpp"
+#include "algo/driver.hpp"
+#include "algo/odd_regular.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "baseline/baseline.hpp"
+#include "exact/exact_eds.hpp"
+#include "factor/two_factor.hpp"
+#include "graph/generators.hpp"
+#include "lb/lower_bounds.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds {
+namespace {
+
+using algo::Algorithm;
+using analysis::approximation_ratio;
+
+/// (d, seed) sweep for the regular pipeline: the recommended algorithm on a
+/// random d-regular graph with random ports is a valid EDS within the bound.
+class RegularPipeline
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(RegularPipeline, RecommendedAlgorithmStaysWithinTable1) {
+  const auto [d, seed] = GetParam();
+  Rng rng(seed * 1000 + d);
+  const std::size_t n = 2 * d + 6;
+  const auto g = graph::random_regular(n, d, rng);
+  const auto rec = algo::recommended_for(g);
+  const auto pg = port::with_random_ports(g, rng);
+  const auto outcome = algo::run_algorithm(pg, rec.algorithm, rec.param);
+  ASSERT_TRUE(analysis::is_edge_dominating_set(g, outcome.solution));
+
+  // Guarantee vs the exact optimum where the solver is comfortable.
+  if (g.num_edges() <= 60) {
+    const auto optimum = exact::minimum_eds_size(g);
+    EXPECT_LE(approximation_ratio(outcome.solution.size(), optimum),
+              analysis::paper_bound_regular(d))
+        << "d=" << d << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeAndSeed, RegularPipeline,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Integration, CanonicalVsRandomPortsBothFeasible) {
+  Rng rng(55);
+  const auto g = graph::random_regular(16, 3, rng);
+  const auto canonical = port::with_canonical_ports(g);
+  const auto random = port::with_random_ports(g, rng);
+  for (const auto* pg : {&canonical, &random}) {
+    const auto outcome = algo::run_algorithm(*pg, Algorithm::kOddRegular, 3);
+    EXPECT_TRUE(analysis::is_edge_dominating_set(g, outcome.solution));
+  }
+}
+
+TEST(Integration, FactorPortsAreTheAdversarialCaseForPortOne) {
+  // Factor ports force port-one to select a whole 2-factor (|V| edges);
+  // random ports typically do better.  Both stay within the bound.
+  Rng rng(56);
+  const auto g = graph::random_regular(14, 4, rng);
+  const auto adversarial = factor::with_factor_ports(g);
+  const auto friendly = port::with_random_ports(g, rng);
+  const auto bad =
+      algo::run_algorithm(adversarial, Algorithm::kPortOne).solution.size();
+  const auto good =
+      algo::run_algorithm(friendly, Algorithm::kPortOne).solution.size();
+  EXPECT_EQ(bad, g.num_nodes());
+  EXPECT_LE(good, bad);
+}
+
+TEST(Integration, DistributedNeverBeatsExactAndRespectsTwoMatchingShape) {
+  Rng rng(57);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = graph::random_bounded_degree(15, 4, 22, rng);
+    if (g.num_edges() < 3) continue;
+    const auto pg = port::with_random_ports(g, rng);
+    const auto delta = static_cast<port::Port>(
+        std::max<std::size_t>(g.max_degree(), 2));
+    const auto dist =
+        algo::run_algorithm(pg, Algorithm::kBoundedDegree, delta).solution;
+    const auto optimum = exact::minimum_eds_size(g);
+    EXPECT_GE(dist.size(), optimum);
+  }
+}
+
+TEST(Integration, BaselineComparisonOrdering) {
+  // greedy maximal matching <= 2 OPT; distributed <= alpha(Delta) OPT.
+  Rng rng(58);
+  const auto g = graph::random_regular(12, 4, rng);
+  const auto optimum = exact::minimum_eds_size(g);
+  const auto greedy = baseline::greedy_maximal_matching(g).size();
+  EXPECT_LE(approximation_ratio(greedy, optimum), Fraction(2));
+}
+
+TEST(Integration, MessageCountsAreBoundedByPortsTimesRounds) {
+  Rng rng(59);
+  const auto g = graph::random_regular(20, 5, rng);
+  const auto pg = port::with_random_ports(g, rng);
+  const auto outcome = algo::run_algorithm(pg, Algorithm::kOddRegular, 5);
+  const auto ports = 2 * g.num_edges();
+  EXPECT_LE(outcome.stats.messages_sent,
+            static_cast<std::uint64_t>(ports) * outcome.stats.rounds);
+}
+
+TEST(Integration, LocalityRoundsDependOnlyOnDegreeParameter) {
+  // The running time O(d^2) is independent of n: Table 1's "Time" column.
+  Rng rng(60);
+  for (const port::Port d : {3u, 5u}) {
+    std::set<runtime::Round> rounds;
+    for (const std::size_t n : {2 * d + 2, 4 * d + 4, 8 * d + 8}) {
+      const auto g = graph::random_regular(n, d, rng);
+      const auto pg = port::with_random_ports(g, rng);
+      rounds.insert(
+          algo::run_algorithm(pg, Algorithm::kOddRegular, d).stats.rounds);
+    }
+    EXPECT_EQ(rounds.size(), 1u) << "round count varied with n for d=" << d;
+  }
+}
+
+TEST(Integration, MixedComponentGraph) {
+  // Disconnected graph mixing a cycle, a tree and isolated nodes.
+  Rng rng(61);
+  auto mixed = graph::disjoint_union(graph::cycle(6), graph::random_tree(8, rng));
+  mixed = graph::disjoint_union(mixed, graph::SimpleGraph(3));
+  const auto pg = port::with_random_ports(mixed, rng);
+  const auto delta = static_cast<port::Port>(mixed.max_degree());
+  const auto outcome = algo::run_algorithm(pg, Algorithm::kBoundedDegree, delta);
+  EXPECT_TRUE(analysis::is_edge_dominating_set(mixed, outcome.solution));
+}
+
+TEST(Integration, Table1RowByRowOnWorstCases) {
+  // The whole Table 1, in one test: lower-bound instances + matching upper
+  // bounds, compared as exact rationals.
+  for (const port::Port d : {2u, 4u, 6u}) {
+    const auto inst = lb::even_lower_bound(d);
+    const auto outcome = algo::run_algorithm(inst.ported, Algorithm::kPortOne);
+    EXPECT_EQ(approximation_ratio(outcome.solution.size(), inst.optimal.size()),
+              analysis::paper_bound_regular(d));
+  }
+  for (const port::Port d : {3u, 5u}) {
+    const auto inst = lb::odd_lower_bound(d);
+    const auto outcome =
+        algo::run_algorithm(inst.ported, Algorithm::kOddRegular, d);
+    EXPECT_EQ(approximation_ratio(outcome.solution.size(), inst.optimal.size()),
+              analysis::paper_bound_regular(d));
+  }
+}
+
+}  // namespace
+}  // namespace eds

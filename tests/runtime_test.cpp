@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "runtime/message.hpp"
+#include "runtime/outputs.hpp"
+#include "runtime/program.hpp"
+#include "runtime/runner.hpp"
+#include "util/rng.hpp"
+
+namespace eds::runtime {
+namespace {
+
+using port::Port;
+using port::PortGraphBuilder;
+
+/// Echo program: sends its degree for `rounds` rounds, records what it saw,
+/// then halts outputting nothing.
+class EchoProgram final : public NodeProgram {
+ public:
+  explicit EchoProgram(Round rounds) : rounds_(rounds) {}
+  void start(Port degree) override { degree_ = degree; }
+  void send(Round, std::span<Message> out) override {
+    for (auto& m : out) m = msg(1, static_cast<std::int32_t>(degree_));
+  }
+  void receive(Round round, std::span<const Message> in) override {
+    sum_ = 0;
+    for (const auto& m : in) sum_ += m.arg[0];
+    if (round >= rounds_) halted_ = true;
+  }
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<Port> output() const override { return {}; }
+
+  std::int64_t sum_ = 0;
+
+ private:
+  Round rounds_;
+  Port degree_ = 0;
+  bool halted_ = false;
+};
+
+class EchoFactory final : public ProgramFactory {
+ public:
+  explicit EchoFactory(Round rounds) : rounds_(rounds) {}
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<EchoProgram>(rounds_);
+  }
+  [[nodiscard]] std::string name() const override { return "echo"; }
+
+ private:
+  Round rounds_;
+};
+
+/// Outputs every port, for consistency testing.
+class ClaimAllFactory final : public ProgramFactory {
+  class P final : public NodeProgram {
+   public:
+    void start(Port degree) override { degree_ = degree; }
+    void send(Round, std::span<Message>) override {}
+    void receive(Round, std::span<const Message>) override { halted_ = true; }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::vector<Port> output() const override {
+      std::vector<Port> out;
+      for (Port i = 1; i <= degree_; ++i) out.push_back(i);
+      return out;
+    }
+
+   private:
+    Port degree_ = 0;
+    bool halted_ = false;
+  };
+
+ public:
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<P>();
+  }
+  [[nodiscard]] std::string name() const override { return "claim-all"; }
+};
+
+/// Outputs port 1 only (inconsistent unless the numbering is symmetric).
+class ClaimPortOneOnlyFactory final : public ProgramFactory {
+  class P final : public NodeProgram {
+   public:
+    void start(Port degree) override { degree_ = degree; }
+    void send(Round, std::span<Message>) override {}
+    void receive(Round, std::span<const Message>) override { halted_ = true; }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::vector<Port> output() const override {
+      return degree_ >= 1 ? std::vector<Port>{1} : std::vector<Port>{};
+    }
+
+   private:
+    Port degree_ = 0;
+    bool halted_ = false;
+  };
+
+ public:
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<P>();
+  }
+  [[nodiscard]] std::string name() const override { return "claim-port-one"; }
+};
+
+/// Never halts — exercises the round-limit guard.
+class NeverHaltFactory final : public ProgramFactory {
+  class P final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round, std::span<Message>) override {}
+    void receive(Round, std::span<const Message>) override {}
+    [[nodiscard]] bool halted() const override { return false; }
+    [[nodiscard]] std::vector<Port> output() const override { return {}; }
+  };
+
+ public:
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<P>();
+  }
+  [[nodiscard]] std::string name() const override { return "never-halt"; }
+};
+
+/// Announces an out-of-range port.
+class BadOutputFactory final : public ProgramFactory {
+  class P final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round, std::span<Message>) override {}
+    void receive(Round, std::span<const Message>) override { halted_ = true; }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::vector<Port> output() const override { return {99}; }
+
+   private:
+    bool halted_ = false;
+  };
+
+ public:
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<P>();
+  }
+  [[nodiscard]] std::string name() const override { return "bad-output"; }
+};
+
+TEST(Runner, RoundsCounted) {
+  const auto pg = port::with_canonical_ports(graph::cycle(5));
+  const auto result = run_synchronous(pg.ports(), EchoFactory(7));
+  EXPECT_EQ(result.stats.rounds, 7u);
+  EXPECT_EQ(result.stats.messages_sent, 7u * 10u);
+}
+
+TEST(Runner, TraceRecordsEveryRound) {
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  RunOptions options;
+  options.collect_trace = true;
+  const auto result = run_synchronous(pg.ports(), EchoFactory(3), options);
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace.back().halted_nodes, 4u);
+  EXPECT_EQ(result.trace.front().messages, 8u);
+}
+
+TEST(Runner, RoundLimitThrows) {
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  RunOptions options;
+  options.max_rounds = 10;
+  EXPECT_THROW((void)run_synchronous(pg.ports(), NeverHaltFactory(), options),
+               ExecutionError);
+}
+
+TEST(Runner, ImmediateHaltTakesZeroRounds) {
+  // A program that halts in start() finishes before any round happens.
+  class HaltAtStart final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round, std::span<Message>) override {}
+    void receive(Round, std::span<const Message>) override {}
+    [[nodiscard]] bool halted() const override { return true; }
+    [[nodiscard]] std::vector<Port> output() const override { return {}; }
+  };
+  class HaltAtStartFactory final : public ProgramFactory {
+   public:
+    [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+      return std::make_unique<HaltAtStart>();
+    }
+    [[nodiscard]] std::string name() const override { return "halt-at-start"; }
+  };
+  PortGraphBuilder b(std::vector<Port>{0, 0, 0});
+  const auto g = b.build();
+  const auto result = run_synchronous(g, HaltAtStartFactory());
+  EXPECT_EQ(result.stats.rounds, 0u);
+
+  // Degree-0 nodes under a program that never halts on its own still spin
+  // send/receive rounds — the guard fires (nothing ever halts them).
+  RunOptions options;
+  options.max_rounds = 5;
+  EXPECT_THROW((void)run_synchronous(g, NeverHaltFactory(), options),
+               ExecutionError);
+}
+
+TEST(Runner, InvalidOutputPortRejected) {
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  EXPECT_THROW((void)run_synchronous(pg.ports(), BadOutputFactory()),
+               ExecutionError);
+}
+
+TEST(Runner, DirectedLoopDeliversToSelf) {
+  // A single node with a fixed-point port: the node hears itself.
+  class LoopProbe final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round, std::span<Message> out) override { out[0] = msg(42); }
+    void receive(Round, std::span<const Message> in) override {
+      heard_self_ = in[0].tag == 42;
+      halted_ = true;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::vector<Port> output() const override {
+      return heard_self_ ? std::vector<Port>{1} : std::vector<Port>{};
+    }
+
+   private:
+    bool halted_ = false;
+    bool heard_self_ = false;
+  };
+  class LoopFactory final : public ProgramFactory {
+   public:
+    [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+      return std::make_unique<LoopProbe>();
+    }
+    [[nodiscard]] std::string name() const override { return "loop-probe"; }
+  };
+
+  PortGraphBuilder b({1});
+  b.fix({0, 1});
+  const auto g = b.build();
+  const auto result = run_synchronous(g, LoopFactory());
+  EXPECT_EQ(result.outputs[0], std::vector<Port>{1});
+}
+
+TEST(Runner, UndirectedLoopRoutesBetweenOwnPorts) {
+  // p(v,1) = (v,2): what v sends on port 1 arrives on its own port 2.
+  class CrossProbe final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round, std::span<Message> out) override {
+      out[0] = msg(7);
+      out[1] = msg(8);
+    }
+    void receive(Round, std::span<const Message> in) override {
+      ok_ = in[0].tag == 8 && in[1].tag == 7;
+      halted_ = true;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::vector<Port> output() const override {
+      return ok_ ? std::vector<Port>{1, 2} : std::vector<Port>{};
+    }
+
+   private:
+    bool halted_ = false;
+    bool ok_ = false;
+  };
+  class CrossFactory final : public ProgramFactory {
+   public:
+    [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+      return std::make_unique<CrossProbe>();
+    }
+    [[nodiscard]] std::string name() const override { return "cross-probe"; }
+  };
+
+  PortGraphBuilder b({2});
+  b.connect({0, 1}, {0, 2});
+  const auto g = b.build();
+  const auto result = run_synchronous(g, CrossFactory());
+  EXPECT_EQ(result.outputs[0], (std::vector<Port>{1, 2}));
+}
+
+TEST(Outputs, ValidatedEdgeSetAcceptsConsistent) {
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  const auto result = run_synchronous(pg.ports(), ClaimAllFactory());
+  const auto edges = validated_edge_set(pg, result);
+  EXPECT_EQ(edges.size(), 4u);
+}
+
+TEST(Outputs, ValidatedEdgeSetRejectsOneSidedClaims) {
+  // On a path, claiming "port 1" is not symmetric at internal nodes.
+  const auto pg = port::with_canonical_ports(graph::path(3));
+  const auto result = run_synchronous(pg.ports(), ClaimPortOneOnlyFactory());
+  EXPECT_THROW((void)validated_edge_set(pg, result), ExecutionError);
+}
+
+TEST(Outputs, AllOutputsIdenticalDetectsSymmetry) {
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  const auto all = run_synchronous(pg.ports(), ClaimAllFactory());
+  EXPECT_TRUE(all_outputs_identical(all));
+}
+
+TEST(Runner, UnwrittenPortsSendSilenceEachRound) {
+  // Regression: ports a program does not write in a round must carry
+  // silence — the previous round's message must not "ghost" onward.
+  class WriteOnceProbe final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round round, std::span<Message> out) override {
+      if (round == 1) {
+        for (auto& m : out) m = msg(99);
+      }
+      // round 2: write nothing — the runner must deliver silence.
+    }
+    void receive(Round round, std::span<const Message> in) override {
+      if (round == 1) {
+        saw_message_ = !in.empty() && in[0].tag == 99;
+      } else {
+        for (const auto& m : in) saw_ghost_ = saw_ghost_ || !m.is_silence();
+        halted_ = true;
+      }
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::vector<Port> output() const override {
+      std::vector<Port> out;
+      if (saw_message_) out.push_back(1);
+      if (saw_ghost_) out.push_back(2);
+      return out;
+    }
+
+   private:
+    bool halted_ = false;
+    bool saw_message_ = false;
+    bool saw_ghost_ = false;
+  };
+  class WriteOnceFactory final : public ProgramFactory {
+   public:
+    [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+      return std::make_unique<WriteOnceProbe>();
+    }
+    [[nodiscard]] std::string name() const override { return "write-once"; }
+  };
+
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  const auto result = run_synchronous(pg.ports(), WriteOnceFactory());
+  for (const auto& output : result.outputs) {
+    EXPECT_EQ(output, std::vector<Port>{1})
+        << "round-1 message missing or a ghost message leaked into round 2";
+  }
+}
+
+TEST(Runner, RunWithExplicitProgramsValidatesInput) {
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  std::vector<std::unique_ptr<NodeProgram>> too_few;
+  too_few.push_back(std::make_unique<EchoProgram>(1));
+  EXPECT_THROW(
+      (void)run_synchronous_programs(pg.ports(), std::move(too_few)),
+      InvalidArgument);
+
+  std::vector<std::unique_ptr<NodeProgram>> with_null;
+  with_null.push_back(std::make_unique<EchoProgram>(1));
+  with_null.push_back(nullptr);
+  with_null.push_back(std::make_unique<EchoProgram>(1));
+  EXPECT_THROW(
+      (void)run_synchronous_programs(pg.ports(), std::move(with_null)),
+      InvalidArgument);
+}
+
+TEST(Message, SilenceConvention) {
+  EXPECT_TRUE(kSilence.is_silence());
+  EXPECT_FALSE(msg(1).is_silence());
+  EXPECT_EQ(msg(3, 1, 2, 3).arg[2], 3);
+}
+
+TEST(Transcript, RecordsDeliveredMessages) {
+  const auto pg = port::with_canonical_ports(graph::path(2));
+  RunOptions options;
+  options.collect_messages = true;
+  const auto result = run_synchronous(pg.ports(), EchoFactory(2), options);
+  // 2 nodes x 1 port x 2 rounds = 4 delivered messages.
+  ASSERT_EQ(result.message_log.size(), 4u);
+  EXPECT_EQ(result.message_log.front().round, 1u);
+  EXPECT_EQ(result.message_log.back().round, 2u);
+
+  const auto text = format_transcript(result);
+  EXPECT_NE(text.find("--- round 1 ---"), std::string::npos);
+  EXPECT_NE(text.find("--- round 2 ---"), std::string::npos);
+  EXPECT_NE(text.find("(0,1) -> (1,1)"), std::string::npos);
+  EXPECT_NE(text.find("rounds: 2"), std::string::npos);
+}
+
+TEST(Transcript, OffByDefault) {
+  const auto pg = port::with_canonical_ports(graph::path(2));
+  const auto result = run_synchronous(pg.ports(), EchoFactory(2));
+  EXPECT_TRUE(result.message_log.empty());
+}
+
+}  // namespace
+}  // namespace eds::runtime

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "exact/vertex_cover.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::exact {
+namespace {
+
+TEST(VertexCover, KnownOptima) {
+  EXPECT_EQ(minimum_vertex_cover_size(graph::star(7)), 1u);
+  EXPECT_EQ(minimum_vertex_cover_size(graph::complete(6)), 5u);
+  EXPECT_EQ(minimum_vertex_cover_size(graph::cycle(6)), 3u);
+  EXPECT_EQ(minimum_vertex_cover_size(graph::cycle(7)), 4u);
+  EXPECT_EQ(minimum_vertex_cover_size(graph::path(5)), 2u);
+  EXPECT_EQ(minimum_vertex_cover_size(graph::complete_bipartite(3, 9)), 3u);
+  EXPECT_EQ(minimum_vertex_cover_size(graph::petersen()), 6u);
+}
+
+TEST(VertexCover, EmptyGraph) {
+  EXPECT_TRUE(minimum_vertex_cover(graph::SimpleGraph(4)).empty());
+}
+
+TEST(VertexCover, KoenigOnBipartite) {
+  // König: in bipartite graphs, min vertex cover = max matching.
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = graph::random_bipartite_regular(6, 3, rng);
+    EXPECT_EQ(minimum_vertex_cover_size(g), 6u);  // perfect matching exists
+  }
+}
+
+TEST(VertexCover, ResultIsAlwaysACover) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = graph::random_bounded_degree(14, 4, 22, rng);
+    const auto cover = minimum_vertex_cover(g);
+    std::vector<bool> in(g.num_nodes(), false);
+    for (const auto v : cover) in[v] = true;
+    for (const auto& e : g.edges()) {
+      EXPECT_TRUE(in[e.u] || in[e.v]);
+    }
+  }
+}
+
+TEST(VertexCoverCorollary, DoubleCoverGivesThreeApproxVc) {
+  // [21] / phase III corollary: the P-nodes of the distributed 2-matching
+  // form a vertex cover of size at most 3 OPT.
+  Rng rng(5);
+  int tested = 0;
+  for (int trial = 0; trial < 25 && tested < 12; ++trial) {
+    const auto g = graph::random_bounded_degree(16, 4, 26, rng);
+    if (g.num_edges() < 3) continue;
+    ++tested;
+    const auto pg = port::with_random_ports(g, rng);
+    const auto p =
+        algo::run_algorithm(pg, algo::Algorithm::kDoubleCover).solution;
+    const auto cover = vertex_cover_from_two_matching(g, p);
+    const auto optimum = minimum_vertex_cover_size(g);
+    ASSERT_GT(optimum, 0u);
+    EXPECT_LE(analysis::approximation_ratio(cover.size(), optimum),
+              Fraction(3))
+        << "trial " << trial;
+  }
+  EXPECT_GE(tested, 8);
+}
+
+TEST(VertexCoverCorollary, RejectsNonDominatingInput) {
+  const auto g = graph::path(5);
+  EXPECT_THROW(
+      (void)vertex_cover_from_two_matching(g, graph::EdgeSet(4, {0})),
+      InvalidArgument);
+}
+
+TEST(VertexCoverCorollary, RejectsNonTwoMatching) {
+  const auto g = graph::star(4);
+  graph::EdgeSet all(4, {0, 1, 2, 3});
+  EXPECT_THROW((void)vertex_cover_from_two_matching(g, all), InvalidArgument);
+}
+
+TEST(VertexCoverCorollary, TightOnTriangles) {
+  // On a triangle the 2-matching can take all 3 edges -> cover of size 3,
+  // optimum 2: ratio 3/2 <= 3.
+  const auto g = graph::cycle(3);
+  const auto pg = port::with_canonical_ports(g);
+  const auto p =
+      algo::run_algorithm(pg, algo::Algorithm::kDoubleCover).solution;
+  const auto cover = vertex_cover_from_two_matching(g, p);
+  EXPECT_LE(cover.size(), 3u);
+  EXPECT_EQ(minimum_vertex_cover_size(g), 2u);
+}
+
+}  // namespace
+}  // namespace eds::exact
