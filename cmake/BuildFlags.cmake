@@ -1,0 +1,32 @@
+# Shared warning and sanitizer configuration.
+#
+# Defines the INTERFACE target `eds_build_flags` that every component,
+# test, bench and example links so the whole tree compiles with one
+# consistent set of flags.
+#
+# Options (all cache variables, settable with -D at configure time):
+#   EDS_WERROR  (ON)  - treat warnings as errors
+#   EDS_ASAN    (OFF) - AddressSanitizer on everything
+#   EDS_UBSAN   (OFF) - UndefinedBehaviorSanitizer on everything
+
+option(EDS_WERROR "Treat compiler warnings as errors" ON)
+option(EDS_ASAN   "Enable AddressSanitizer"           OFF)
+option(EDS_UBSAN  "Enable UndefinedBehaviorSanitizer" OFF)
+
+add_library(eds_build_flags INTERFACE)
+target_compile_options(eds_build_flags INTERFACE -Wall -Wextra -Wshadow -Wpedantic)
+if(EDS_WERROR)
+  target_compile_options(eds_build_flags INTERFACE -Werror)
+endif()
+
+set(EDS_SANITIZER_FLAGS "")
+if(EDS_ASAN)
+  list(APPEND EDS_SANITIZER_FLAGS -fsanitize=address -fno-omit-frame-pointer)
+endif()
+if(EDS_UBSAN)
+  list(APPEND EDS_SANITIZER_FLAGS -fsanitize=undefined -fno-omit-frame-pointer)
+endif()
+if(EDS_SANITIZER_FLAGS)
+  target_compile_options(eds_build_flags INTERFACE ${EDS_SANITIZER_FLAGS})
+  target_link_options(eds_build_flags INTERFACE ${EDS_SANITIZER_FLAGS})
+endif()

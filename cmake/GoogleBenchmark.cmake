@@ -1,0 +1,22 @@
+# Locate Google Benchmark for the bench_micro_* targets.
+#
+# Prefers an installed CMake package; falls back to a bare library probe
+# because Debian's libbenchmark-dev ships the library without a CMake
+# config.  Sets benchmark_FOUND and, when found, provides the
+# benchmark::benchmark imported target.  Benchmarks that need it are
+# skipped (with a status message) when the library is absent — the
+# default build must stay dependency-light.
+
+find_package(benchmark QUIET)
+if(NOT benchmark_FOUND)
+  find_library(EDS_BENCHMARK_LIB benchmark)
+  if(EDS_BENCHMARK_LIB)
+    find_package(Threads REQUIRED)
+    # UNKNOWN, not SHARED: find_library may resolve a static archive.
+    add_library(benchmark::benchmark UNKNOWN IMPORTED)
+    set_target_properties(benchmark::benchmark PROPERTIES
+      IMPORTED_LOCATION "${EDS_BENCHMARK_LIB}"
+      INTERFACE_LINK_LIBRARIES Threads::Threads)
+    set(benchmark_FOUND TRUE)
+  endif()
+endif()

@@ -9,6 +9,7 @@
 #include "graph/properties.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::algo {
 namespace {
@@ -160,8 +161,8 @@ TEST(BoundedDegree, RegularGraphsAreAValidSpecialCase) {
   // better); ratio must respect the *bounded-degree* bound.
   Rng rng(106);
   for (const port::Port d : {3u, 4u}) {
-    const auto g = graph::random_regular(10, d, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(10, d, rng);
+    const auto& g = pg.graph();
     const auto solution = solve(pg, d);
     EXPECT_TRUE(is_edge_dominating_set(g, solution));
     const auto optimum = exact::minimum_eds_size(g);
@@ -191,8 +192,8 @@ TEST(BoundedDegree, PropertiesOfSection73) {
 
 TEST(BoundedDegree, LargeSparseInstance) {
   Rng rng(108);
-  const auto g = graph::random_bounded_degree(400, 6, 900, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_bounded(400, 6, 900, rng);
+  const auto& g = pg.graph();
   const auto solution = solve(
       pg, static_cast<port::Port>(std::max<std::size_t>(g.max_degree(), 2)));
   EXPECT_TRUE(is_edge_dominating_set(g, solution));

@@ -7,6 +7,7 @@
 #include "graph/properties.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::algo {
 namespace {
@@ -20,8 +21,8 @@ graph::EdgeSet solve(const port::PortedGraph& pg) {
 TEST(DoubleCover, ProducesATwoMatching) {
   Rng rng(1);
   for (int trial = 0; trial < 15; ++trial) {
-    const auto g = graph::random_bounded_degree(25, 5, 45, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_bounded(25, 5, 45, rng);
+    const auto& g = pg.graph();
     const auto p = solve(pg);
     EXPECT_TRUE(is_k_matching(g, p, 2)) << "trial " << trial;
   }
@@ -45,8 +46,8 @@ TEST(DoubleCover, CoveredNodesFormAVertexCover) {
   // verify coverage, not the ratio).
   Rng rng(3);
   for (int trial = 0; trial < 10; ++trial) {
-    const auto g = graph::random_bounded_degree(20, 4, 35, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_bounded(20, 4, 35, rng);
+    const auto& g = pg.graph();
     const auto p = solve(pg);
     std::vector<bool> covered(g.num_nodes(), false);
     for (const auto e : p.to_vector()) {
@@ -82,8 +83,7 @@ TEST(DoubleCover, ScheduleIsLinearInDelta) {
 
 TEST(DoubleCover, RoundsMatchSchedule) {
   Rng rng(5);
-  const auto g = graph::random_regular(14, 4, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(14, 4, rng);
   const auto outcome = run_algorithm(pg, Algorithm::kDoubleCover, 4);
   EXPECT_EQ(outcome.stats.rounds, DoubleCoverProgram::schedule_length(4));
 }

@@ -12,6 +12,7 @@
 #include "port/ported_graph.hpp"
 #include "runtime/outputs.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::algo {
 namespace {
@@ -31,8 +32,8 @@ TEST(OddRegular, FeasibleOnRandomOddRegularGraphs) {
   Rng rng(1);
   for (const port::Port d : {1u, 3u, 5u, 7u}) {
     for (int trial = 0; trial < 4; ++trial) {
-      const auto g = graph::random_regular(2 * d + 4, d, rng);
-      const auto pg = port::with_random_ports(g, rng);
+      const auto pg = test::random_ported_regular(2 * d + 4, d, rng);
+      const auto& g = pg.graph();
       const auto solution = solve(pg, d);
       EXPECT_TRUE(is_edge_dominating_set(g, solution)) << "d=" << d;
       EXPECT_TRUE(is_edge_cover(g, solution)) << "d=" << d;
@@ -45,8 +46,8 @@ TEST(OddRegular, ProducesAStarForest) {
   Rng rng(2);
   for (const port::Port d : {3u, 5u}) {
     for (int trial = 0; trial < 5; ++trial) {
-      const auto g = graph::random_regular(3 * d + 3, d, rng);
-      const auto pg = port::with_random_ports(g, rng);
+      const auto pg = test::random_ported_regular(3 * d + 3, d, rng);
+      const auto& g = pg.graph();
       const auto solution = solve(pg, d);
       EXPECT_TRUE(is_star_forest(g, solution)) << "d=" << d;
     }
@@ -59,8 +60,7 @@ TEST(OddRegular, SizeBoundHolds) {
   for (const port::Port d : {3u, 5u, 7u}) {
     for (int trial = 0; trial < 4; ++trial) {
       const std::size_t n = 2 * d + 6;
-      const auto g = graph::random_regular(n, d, rng);
-      const auto pg = port::with_random_ports(g, rng);
+      const auto pg = test::random_ported_regular(n, d, rng);
       const auto solution = solve(pg, d);
       EXPECT_LE(solution.size() * (d + 1), d * n) << "d=" << d;
     }
@@ -70,8 +70,8 @@ TEST(OddRegular, SizeBoundHolds) {
 TEST(OddRegular, RatioWithinBoundAgainstExactOptimum) {
   Rng rng(4);
   for (int trial = 0; trial < 6; ++trial) {
-    const auto g = graph::random_regular(10, 3, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(10, 3, rng);
+    const auto& g = pg.graph();
     const auto solution = solve(pg, 3);
     const auto optimum = exact::minimum_eds_size(g);
     EXPECT_LE(approximation_ratio(solution.size(), optimum),
@@ -111,8 +111,7 @@ TEST(OddRegular, ScheduleLengthIsQuadratic) {
 
 TEST(OddRegular, RoundsMatchSchedule) {
   Rng rng(6);
-  const auto g = graph::random_regular(12, 5, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(12, 5, rng);
   const auto outcome = run_algorithm(pg, Algorithm::kOddRegular, 5);
   EXPECT_EQ(outcome.stats.rounds, OddRegularProgram::schedule_length(5));
 }
@@ -123,8 +122,7 @@ TEST(OddRegular, RoundsIndependentOfN) {
   runtime::Round rounds[2] = {0, 0};
   int idx = 0;
   for (const std::size_t n : {10u, 40u}) {
-    const auto g = graph::random_regular(n, 3, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(n, 3, rng);
     rounds[idx++] = run_algorithm(pg, Algorithm::kOddRegular, 3).stats.rounds;
   }
   EXPECT_EQ(rounds[0], rounds[1]);
@@ -157,8 +155,8 @@ TEST(OddRegular, GuaranteeHoldsUnderEveryPairOrder) {
   // the guarantee must not depend on the order chosen.
   Rng rng(12);
   for (int trial = 0; trial < 4; ++trial) {
-    const auto g = graph::random_regular(12, 3, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(12, 3, rng);
+    const auto& g = pg.graph();
     const auto optimum = exact::minimum_eds_size(g);
     for (const auto order : {PairOrder::kLexicographic, PairOrder::kDiagonal,
                              PairOrder::kReverse}) {
@@ -189,8 +187,7 @@ TEST(OddRegular, OrdersStillForceTheLowerBound) {
 TEST(OddRegular, RejectsDegreeMismatch) {
   // Running the d=3 program on a 5-regular graph violates the model.
   Rng rng(8);
-  const auto g = graph::random_regular(12, 5, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(12, 5, rng);
   EXPECT_THROW((void)run_algorithm(pg, Algorithm::kOddRegular, 3),
                ExecutionError);
 }
@@ -221,8 +218,8 @@ TEST(OddRegular, ManySeedsNeverViolateBoundOnK4Free) {
   // A broader randomised sweep on 3-regular instances with exact optima.
   Rng rng(11);
   for (int trial = 0; trial < 12; ++trial) {
-    const auto g = graph::random_regular(14, 3, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(14, 3, rng);
+    const auto& g = pg.graph();
     const auto solution = solve(pg, 3);
     const auto optimum = exact::minimum_eds_size(g);
     EXPECT_LE(approximation_ratio(solution.size(), optimum),

@@ -8,6 +8,7 @@
 #include "graph/generators.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::algo {
 namespace {
@@ -21,8 +22,7 @@ TEST(PortOne, SolutionDominatesOnRegularFamilies) {
   Rng rng(1);
   for (const std::size_t d : {1u, 2u, 3u, 4u, 6u, 8u}) {
     const std::size_t n = 2 * d + 4;  // even, so n*d is even and n > d
-    const auto g = graph::random_regular(n, d, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(n, d, rng);
     const auto outcome = run_algorithm(pg, Algorithm::kPortOne);
     EXPECT_TRUE(is_edge_dominating_set(pg.graph(), outcome.solution))
         << "d=" << d;
@@ -32,7 +32,7 @@ TEST(PortOne, SolutionDominatesOnRegularFamilies) {
 
 TEST(PortOne, RunsInExactlyOneRound) {
   Rng rng(2);
-  const auto pg = port::with_random_ports(graph::random_regular(20, 4, rng), rng);
+  const auto pg = test::random_ported_regular(20, 4, rng);
   const auto outcome = run_algorithm(pg, Algorithm::kPortOne);
   EXPECT_EQ(outcome.stats.rounds, 1u);
 }
@@ -41,8 +41,8 @@ TEST(PortOne, RatioWithinPaperBoundOnSmallRegularGraphs) {
   Rng rng(3);
   for (const std::size_t d : {2u, 4u}) {
     for (int trial = 0; trial < 8; ++trial) {
-      const auto g = graph::random_regular(10, d, rng);
-      const auto pg = port::with_random_ports(g, rng);
+      const auto pg = test::random_ported_regular(10, d, rng);
+      const auto& g = pg.graph();
       const auto outcome = run_algorithm(pg, Algorithm::kPortOne);
       const auto optimum = exact::minimum_eds_size(g);
       EXPECT_LE(approximation_ratio(outcome.solution.size(), optimum),
@@ -56,8 +56,8 @@ TEST(PortOne, SizeNeverExceedsNodeCount) {
   // |D| <= |V| is the key counting step in the proof of Theorem 3.
   Rng rng(4);
   for (int trial = 0; trial < 10; ++trial) {
-    const auto g = graph::random_regular(16, 4, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(16, 4, rng);
+    const auto& g = pg.graph();
     const auto outcome = run_algorithm(pg, Algorithm::kPortOne);
     EXPECT_LE(outcome.solution.size(), g.num_nodes());
   }

@@ -4,17 +4,14 @@
 #include "analysis/verify.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::analysis {
 namespace {
 
 using graph::EdgeSet;
 using graph::SimpleGraph;
-
-SimpleGraph p4() {
-  // Path a-b-c-d: edges 0={0,1}, 1={1,2}, 2={2,3}.
-  return SimpleGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
-}
+using test::p4;
 
 TEST(Verify, DominatedEdges) {
   const auto g = p4();

@@ -12,6 +12,7 @@
 #include "port/labels.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::algo {
 namespace {
@@ -22,8 +23,7 @@ class OddMirrorSweep
 TEST_P(OddMirrorSweep, DistributedEqualsCentral) {
   const auto [d, seed] = GetParam();
   Rng rng(seed * 7919 + d);
-  const auto g = graph::random_regular(2 * d + 6, d, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(2 * d + 6, d, rng);
   const auto central = central_odd_regular(pg);
   const auto distributed =
       run_algorithm(pg, Algorithm::kOddRegular, static_cast<port::Port>(d));
@@ -61,8 +61,7 @@ TEST(CentralMirror, PortOneAgreesEverywhere) {
   Rng rng(31337);
   for (const std::size_t d : {2u, 3u, 4u, 6u}) {
     for (int trial = 0; trial < 4; ++trial) {
-      const auto g = graph::random_regular(2 * d + 4, d, rng);
-      const auto pg = port::with_random_ports(g, rng);
+      const auto pg = test::random_ported_regular(2 * d + 4, d, rng);
       EXPECT_EQ(run_algorithm(pg, Algorithm::kPortOne).solution,
                 central_port_one(pg));
     }
@@ -72,8 +71,8 @@ TEST(CentralMirror, PortOneAgreesEverywhere) {
 TEST(CentralMirror, OddRegularPhase1IsForestAndCover) {
   Rng rng(101);
   for (int trial = 0; trial < 8; ++trial) {
-    const auto g = graph::random_regular(16, 5, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(16, 5, rng);
+    const auto& g = pg.graph();
     const auto trace = central_odd_regular(pg);
     EXPECT_TRUE(analysis::is_forest(g, trace.after_phase1));
     EXPECT_TRUE(analysis::is_edge_cover(g, trace.after_phase1));
@@ -171,8 +170,7 @@ TEST(CentralMirror, BoundedDegreeOnRegularLowerBoundGraph) {
   Rng rng(103);
   const auto g = graph::complete(5);  // placeholder sanity below uses lb
   (void)g;
-  const auto pg = port::with_random_ports(graph::random_regular(12, 4, rng),
-                                          rng);
+  const auto pg = test::random_ported_regular(12, 4, rng);
   const auto trace = central_bounded_degree(pg, 4);
   EXPECT_TRUE(analysis::is_edge_dominating_set(pg.graph(), trace.solution));
 }

@@ -7,6 +7,7 @@
 #include "idmodel/forest_matching.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::idmodel {
 namespace {
@@ -31,8 +32,8 @@ TEST(CvIterations, MonotoneAndLogStarFlat) {
 TEST(ForestMatching, ProducesMaximalMatchings) {
   Rng rng(1);
   for (int trial = 0; trial < 15; ++trial) {
-    const auto g = graph::random_bounded_degree(30, 5, 60, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_bounded(30, 5, 60, rng);
+    const auto& g = pg.graph();
     const auto outcome = run_forest_matching(pg);
     EXPECT_TRUE(analysis::is_maximal_matching(g, outcome.matching))
         << "trial " << trial;
@@ -66,8 +67,8 @@ TEST(ForestMatching, StructuredFamilies) {
 
 TEST(ForestMatching, ArbitraryDistinctIdsWork) {
   Rng rng(4);
-  const auto g = graph::random_regular(16, 4, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(16, 4, rng);
+  const auto& g = pg.graph();
   // Non-contiguous, shuffled ids in a 20-bit space.
   std::vector<std::uint32_t> ids(g.num_nodes());
   for (std::size_t v = 0; v < ids.size(); ++v) {
@@ -82,8 +83,8 @@ TEST(ForestMatching, RoundsDependOnIdSpace) {
   // The paper's Section 1.3 contrast: with IDs the round count grows with
   // the id space (the log* term), unlike the anonymous algorithms.
   Rng rng(5);
-  const auto g = graph::random_regular(12, 3, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(12, 3, rng);
+  const auto& g = pg.graph();
   std::vector<std::uint32_t> ids(g.num_nodes());
   for (std::size_t v = 0; v < ids.size(); ++v) {
     ids[v] = static_cast<std::uint32_t>(v);
@@ -125,8 +126,8 @@ TEST(ForestMatching, IdPermutationChangesNothingStructural) {
   // Different id assignments may give different matchings, but always
   // maximal ones.
   Rng rng(6);
-  const auto g = graph::random_regular(14, 3, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(14, 3, rng);
+  const auto& g = pg.graph();
   for (int trial = 0; trial < 5; ++trial) {
     auto perm = rng.permutation(g.num_nodes());
     std::vector<std::uint32_t> ids(perm.size());

@@ -16,6 +16,7 @@
 #include "lb/lower_bounds.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds {
 namespace {
@@ -104,8 +105,8 @@ TEST(Integration, BaselineComparisonOrdering) {
 
 TEST(Integration, MessageCountsAreBoundedByPortsTimesRounds) {
   Rng rng(59);
-  const auto g = graph::random_regular(20, 5, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(20, 5, rng);
+  const auto& g = pg.graph();
   const auto outcome = algo::run_algorithm(pg, Algorithm::kOddRegular, 5);
   const auto ports = 2 * g.num_edges();
   EXPECT_LE(outcome.stats.messages_sent,
@@ -118,8 +119,7 @@ TEST(Integration, LocalityRoundsDependOnlyOnDegreeParameter) {
   for (const port::Port d : {3u, 5u}) {
     std::set<runtime::Round> rounds;
     for (const std::size_t n : {2 * d + 2, 4 * d + 4, 8 * d + 8}) {
-      const auto g = graph::random_regular(n, d, rng);
-      const auto pg = port::with_random_ports(g, rng);
+      const auto pg = test::random_ported_regular(n, d, rng);
       rounds.insert(
           algo::run_algorithm(pg, Algorithm::kOddRegular, d).stats.rounds);
     }

@@ -6,6 +6,7 @@
 #include "port/port_graph.hpp"
 #include "port/ported_graph.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::port {
 namespace {
@@ -13,29 +14,9 @@ namespace {
 using graph::EdgeId;
 using graph::SimpleGraph;
 
-/// The simple graph H of Figure 2 (reconstructed to satisfy every fact the
-/// paper states about it): nodes a=0, b=1, c=2, d=3 with
-///   a: port1->c, port2->b        b: port1->a, port2->c, port3->d
-///   c: port1->d, port2->a, port3->b   d: port1->c, port2->b
-PortedGraph figure2_graph_h() {
-  auto g = SimpleGraph::from_edges(
-      4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
-  // edge ids: 0 = ab, 1 = ac, 2 = bc, 3 = bd, 4 = cd
-  const std::vector<std::vector<EdgeId>> order{
-      {1, 0}, {0, 2, 3}, {4, 1, 2}, {4, 3}};
-  return PortedGraph(std::move(g), order);
-}
-
-/// The multigraph M of Figure 2: V = {s, t}, d(s) = 3, d(t) = 4,
-/// p: (s,1)<->(t,2), (s,2)<->(t,1), (s,3) fixed, (t,3)<->(t,4).
-PortGraph figure2_multigraph_m() {
-  PortGraphBuilder b({3, 4});
-  b.connect({0, 1}, {1, 2});
-  b.connect({0, 2}, {1, 1});
-  b.fix({0, 3});
-  b.connect({1, 3}, {1, 4});
-  return b.build();
-}
+// Figure 2 of the paper; shared with other suites via test_util.hpp.
+using test::figure2_graph_h;
+using test::figure2_multigraph_m;
 
 TEST(PortGraphBuilder, Figure2MultigraphStructure) {
   const auto m = figure2_multigraph_m();
@@ -106,7 +87,7 @@ TEST(PortedGraph, RandomPortsAreValidPermutation) {
 
 TEST(PortedGraph, PortEdgeRoundTrip) {
   Rng rng(2);
-  const auto pg = with_random_ports(graph::random_regular(12, 3, rng), rng);
+  const auto pg = test::random_ported_regular(12, 3, rng);
   const auto& g = pg.graph();
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& edge = g.edge(e);
@@ -171,7 +152,7 @@ TEST(Labels, Lemma1OddDegreeAlwaysHasDn) {
   for (const std::size_t d : {3u, 5u, 7u}) {
     for (int trial = 0; trial < 5; ++trial) {
       const auto pg =
-          with_random_ports(graph::random_regular(2 * d + 2, d, rng), rng);
+          test::random_ported_regular(2 * d + 2, d, rng);
       for (graph::NodeId v = 0; v < pg.graph().num_nodes(); ++v) {
         EXPECT_TRUE(distinguishable_neighbour(pg, v).has_value())
             << "d=" << d << " v=" << v;

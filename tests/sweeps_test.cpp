@@ -13,6 +13,7 @@
 #include "port/views.hpp"
 #include "runtime/runner.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds {
 namespace {
@@ -74,8 +75,8 @@ INSTANTIATE_TEST_SUITE_P(Deltas, BoundedTightness,
 TEST(RadiusViews, BoundedRadiusImpliesBoundedIndistinguishability) {
   Rng rng(77);
   for (int trial = 0; trial < 6; ++trial) {
-    const auto g = graph::random_regular(14, 4, rng);
-    const auto pg = port::with_random_ports(g, rng);
+    const auto pg = test::random_ported_regular(14, 4, rng);
+    const auto& g = pg.graph();
 
     // Port-one halts after exactly 1 round: radius-1 views decide outputs.
     const auto classes = port::view_classes(pg.ports(), 1);
@@ -113,8 +114,8 @@ TEST(NumberingStrategies, GuaranteeHoldsUnderAllStrategies) {
 /// Determinism: the same ported graph always yields the same output.
 TEST(Determinism, RepeatedRunsAreIdentical) {
   Rng rng(79);
-  const auto g = graph::random_bounded_degree(24, 5, 40, rng);
-  const auto pg = port::with_random_ports(g, rng);
+  const auto pg = test::random_ported_bounded(24, 5, 40, rng);
+  const auto& g = pg.graph();
   const auto delta = static_cast<port::Port>(
       std::max<std::size_t>(g.max_degree(), 2));
   const auto a = algo::run_algorithm(pg, algo::Algorithm::kBoundedDegree, delta);

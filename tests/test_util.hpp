@@ -1,0 +1,90 @@
+// Shared test utilities: seeded RNG helpers and the graph fixtures that
+// recur across suites (paper figures, small paths, random regular
+// instances with random port numberings).
+//
+// Seeding: every randomised suite derives its streams from base_seed(),
+// which defaults to a fixed constant so ctest runs are deterministic, and
+// can be overridden with the EDS_FUZZ_SEED environment variable to explore
+// new streams without a code change (used by the `fuzz` ctest label).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/simple_graph.hpp"
+#include "port/port_graph.hpp"
+#include "port/ported_graph.hpp"
+#include "util/rng.hpp"
+
+namespace eds::test {
+
+/// Fixed default master seed for randomised tests.
+inline constexpr std::uint64_t kDefaultSeed = 0xED5D0517ULL;
+
+/// Master seed: kDefaultSeed unless EDS_FUZZ_SEED is set in the
+/// environment (parsed with strtoull, so decimal and 0x-hex both work).
+inline std::uint64_t base_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("EDS_FUZZ_SEED")) {
+      return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 0));
+    }
+    return kDefaultSeed;
+  }();
+  return seed;
+}
+
+/// Deterministic per-test RNG: mixes the master seed with a caller-chosen
+/// salt so each test gets an independent stream.
+inline Rng make_rng(std::uint64_t salt) {
+  std::uint64_t state = base_seed() + salt;
+  return Rng(splitmix64(state));
+}
+
+/// A random d-regular graph with an independent random port numbering at
+/// every node — the standard randomised instance used across suites.
+/// The underlying simple graph is available as `.graph()`.
+inline port::PortedGraph random_ported_regular(std::size_t n, port::Port d,
+                                               Rng& rng) {
+  return port::with_random_ports(graph::random_regular(n, d, rng), rng);
+}
+
+/// A random graph with n nodes, max degree delta and (at most) m edges,
+/// with an independent random port numbering at every node.
+inline port::PortedGraph random_ported_bounded(std::size_t n, port::Port delta,
+                                               std::size_t m, Rng& rng) {
+  return port::with_random_ports(graph::random_bounded_degree(n, delta, m, rng),
+                                 rng);
+}
+
+/// Path a-b-c-d: edges 0={0,1}, 1={1,2}, 2={2,3}.
+inline graph::SimpleGraph p4() {
+  return graph::SimpleGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+/// The simple graph H of Figure 2 (reconstructed to satisfy every fact the
+/// paper states about it): nodes a=0, b=1, c=2, d=3 with
+///   a: port1->c, port2->b        b: port1->a, port2->c, port3->d
+///   c: port1->d, port2->a, port3->b   d: port1->c, port2->b
+inline port::PortedGraph figure2_graph_h() {
+  auto g = graph::SimpleGraph::from_edges(
+      4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  // edge ids: 0 = ab, 1 = ac, 2 = bc, 3 = bd, 4 = cd
+  const std::vector<std::vector<graph::EdgeId>> order{
+      {1, 0}, {0, 2, 3}, {4, 1, 2}, {4, 3}};
+  return port::PortedGraph(std::move(g), order);
+}
+
+/// The multigraph M of Figure 2: V = {s, t}, d(s) = 3, d(t) = 4,
+/// p: (s,1)<->(t,2), (s,2)<->(t,1), (s,3) fixed, (t,3)<->(t,4).
+inline port::PortGraph figure2_multigraph_m() {
+  port::PortGraphBuilder b({3, 4});
+  b.connect({0, 1}, {1, 2});
+  b.connect({0, 2}, {1, 1});
+  b.fix({0, 3});
+  b.connect({1, 3}, {1, 4});
+  return b.build();
+}
+
+}  // namespace eds::test

@@ -1,0 +1,78 @@
+// The shared test utilities are load-bearing for every randomised suite,
+// so they get a suite of their own: seeding must be stable, and the graph
+// fixtures must match the facts the paper states about them.
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace eds::test {
+namespace {
+
+TEST(TestUtil, BaseSeedIsStableAcrossCalls) {
+  EXPECT_EQ(base_seed(), base_seed());
+}
+
+TEST(TestUtil, MakeRngIsDeterministicPerSalt) {
+  auto a = make_rng(7);
+  auto b = make_rng(7);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(TestUtil, MakeRngSaltsGiveIndependentStreams) {
+  auto a = make_rng(1);
+  auto b = make_rng(2);
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    differs = differs || (a.next_u64() != b.next_u64());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TestUtil, RandomPortedRegularHasTheRequestedShape) {
+  auto rng = make_rng(3);
+  const auto pg = random_ported_regular(12, 3, rng);
+  EXPECT_EQ(pg.graph().num_nodes(), 12u);
+  EXPECT_TRUE(pg.graph().is_regular(3));
+  EXPECT_NO_THROW(pg.ports().validate());
+}
+
+TEST(TestUtil, RandomPortedBoundedRespectsItsBounds) {
+  auto rng = make_rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pg = random_ported_bounded(20, 4, 35, rng);
+    EXPECT_EQ(pg.graph().num_nodes(), 20u);
+    EXPECT_LE(pg.graph().max_degree(), 4u);
+    EXPECT_LE(pg.graph().num_edges(), 35u);
+    EXPECT_NO_THROW(pg.ports().validate());
+  }
+}
+
+TEST(TestUtil, P4IsThePathOnFourNodes) {
+  const auto g = p4();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(TestUtil, Figure2GraphHMatchesThePaper) {
+  const auto pg = figure2_graph_h();
+  EXPECT_EQ(pg.graph().num_nodes(), 4u);
+  EXPECT_EQ(pg.graph().num_edges(), 5u);
+  // The paper's port assignments: l(a, c) = 1, l(b, d) = 3, l(c, d) = 1.
+  EXPECT_EQ(pg.port_towards(0, 2), 1u);
+  EXPECT_EQ(pg.port_towards(1, 3), 3u);
+  EXPECT_EQ(pg.port_towards(2, 3), 1u);
+}
+
+TEST(TestUtil, Figure2MultigraphMMatchesThePaper) {
+  const auto m = figure2_multigraph_m();
+  EXPECT_EQ(m.num_nodes(), 2u);
+  EXPECT_EQ(m.num_ports(), 7u);
+  EXPECT_NO_THROW(m.validate());
+}
+
+}  // namespace
+}  // namespace eds::test

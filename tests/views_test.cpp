@@ -9,6 +9,7 @@
 #include "port/views.hpp"
 #include "runtime/runner.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::port {
 namespace {
@@ -60,8 +61,8 @@ TEST(Views, EqualViewsForceEqualOutputs) {
   // The indistinguishability theorem, verified against the simulator: nodes
   // with equal stable views produce identical outputs under every algorithm.
   Rng rng(7);
-  const auto g = graph::random_regular(12, 3, rng);
-  const auto pg = with_random_ports(g, rng);
+  const auto pg = test::random_ported_regular(12, 3, rng);
+  const auto& g = pg.graph();
   const auto stable = stable_view_classes(pg.ports());
   const auto factory = algo::make_factory(algo::Algorithm::kOddRegular, 3);
   const auto result = runtime::run_synchronous(pg.ports(), *factory);
@@ -119,8 +120,7 @@ TEST(Lift, LiftsOfMultigraphsWork) {
 
 TEST(Lift, AlgorithmsLiftAlongLifts) {
   Rng rng(13);
-  const auto base = with_random_ports(graph::random_regular(8, 3, rng), rng)
-                        .ports();
+  const auto base = test::random_ported_regular(8, 3, rng).ports();
   const auto lifted = cyclic_lift(base, 3, rng);
   const auto f = lift_projection(base, 3);
   const auto factory = algo::make_factory(algo::Algorithm::kOddRegular, 3);
