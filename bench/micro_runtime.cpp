@@ -1,5 +1,13 @@
 // google-benchmark: simulator throughput — rounds/sec and full-algorithm
-// wall time across n and d.
+// wall time across n and d, plus the engine's parallel-policy and batch
+// scaling points.
+//
+// Machine-readable output (the BENCH_runtime.json perf trajectory): every
+// benchmark exports `n` and `rounds` counters, so
+//   bench_micro_runtime --benchmark_format=json
+// piped through tools/bench_json.py yields records of
+// {name, n, rounds, ns_per_op}.  CI runs this once per push in Release and
+// uploads the JSON as an artifact.
 #include <benchmark/benchmark.h>
 
 #include "algo/driver.hpp"
@@ -14,10 +22,14 @@ void BM_PortOne(benchmark::State& state) {
   eds::Rng rng(1);
   const auto g = eds::graph::random_regular(n, 4, rng);
   const auto pg = eds::port::with_random_ports(g, rng);
+  std::uint64_t rounds = 0;
   for (auto _ : state) {
     auto outcome = eds::algo::run_algorithm(pg, eds::algo::Algorithm::kPortOne);
+    rounds = outcome.stats.rounds;
     benchmark::DoNotOptimize(outcome.solution.size());
   }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.num_edges()));
 }
@@ -29,11 +41,15 @@ void BM_OddRegular(benchmark::State& state) {
   eds::Rng rng(2);
   const auto g = eds::graph::random_regular(n, d, rng);
   const auto pg = eds::port::with_random_ports(g, rng);
+  std::uint64_t rounds = 0;
   for (auto _ : state) {
     auto outcome =
         eds::algo::run_algorithm(pg, eds::algo::Algorithm::kOddRegular, d);
+    rounds = outcome.stats.rounds;
     benchmark::DoNotOptimize(outcome.stats.rounds);
   }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
 }
 BENCHMARK(BM_OddRegular)
     ->Args({64, 3})
@@ -49,11 +65,15 @@ void BM_BoundedDegree(benchmark::State& state) {
   const auto pg = eds::port::with_random_ports(g, rng);
   const auto delta = static_cast<eds::port::Port>(
       std::max<std::size_t>(g.max_degree(), 2));
+  std::uint64_t rounds = 0;
   for (auto _ : state) {
     auto outcome = eds::algo::run_algorithm(
         pg, eds::algo::Algorithm::kBoundedDegree, delta);
+    rounds = outcome.stats.rounds;
     benchmark::DoNotOptimize(outcome.stats.rounds);
   }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
 }
 BENCHMARK(BM_BoundedDegree)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -63,15 +83,72 @@ void BM_RunnerRoundOverhead(benchmark::State& state) {
   eds::Rng rng(4);
   const auto g = eds::graph::torus(side, side);
   const auto pg = eds::port::with_random_ports(g, rng);
+  std::uint64_t rounds = 0;
   for (auto _ : state) {
     auto outcome =
         eds::algo::run_algorithm(pg, eds::algo::Algorithm::kDoubleCover, 4);
+    rounds = outcome.stats.rounds;
     benchmark::DoNotOptimize(outcome.stats.messages_sent);
   }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  state.counters["rounds"] = static_cast<double>(rounds);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.num_edges()) * 8);
 }
 BENCHMARK(BM_RunnerRoundOverhead)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Engine100k(benchmark::State& state) {
+  // The acceptance point for the engine: one 100k-node instance, A(4)
+  // (51 rounds of real per-node logic), sequential vs sharded rounds.
+  // threads == 1 selects SequentialPolicy; > 1 ParallelPolicy.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  eds::Rng rng(5);
+  const auto g = eds::graph::torus(320, 320);  // 102400 nodes, 4-regular
+  const auto pg = eds::port::with_random_ports(g, rng);
+  eds::runtime::ExecOptions exec;
+  exec.threads = threads;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    auto outcome = eds::algo::run_algorithm(
+        pg, eds::algo::Algorithm::kBoundedDegree, 4, exec);
+    rounds = outcome.stats.rounds;
+    benchmark::DoNotOptimize(outcome.solution.size());
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()) *
+                          static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_Engine100k)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+
+void BM_BatchSweep(benchmark::State& state) {
+  // Batch throughput: 32 independent jobs (random 4-regular, n = 512)
+  // fanned across the BatchRunner pool.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  eds::Rng rng(6);
+  std::vector<eds::port::PortedGraph> instances;
+  instances.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    instances.push_back(eds::port::with_random_ports(
+        eds::graph::random_regular(512, 4, rng), rng));
+  }
+  std::vector<eds::algo::BatchItem> items;
+  for (const auto& pg : instances) {
+    items.push_back({&pg, eds::algo::Algorithm::kBoundedDegree, 4});
+  }
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    auto outcomes = eds::algo::run_batch(items, threads);
+    rounds = outcomes.back().stats.rounds;
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.counters["n"] = 512.0 * 32.0;
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -58,20 +58,32 @@ int main() {
                                                        outcome.solution);
     }
 
-    // Random bounded-degree instances with exact optima.
+    // Random bounded-degree instances with exact optima, generated
+    // sequentially (the RNG stream is the experiment) and executed as one
+    // batch over the engine pool.
     Fraction random_worst(0);
+    std::vector<eds::port::PortedGraph> numberings;
+    std::vector<std::size_t> optima;
     for (int instance = 0; instance < 5; ++instance) {
       const auto g = eds::graph::random_bounded_degree(14, delta, 24, rng);
       if (g.num_edges() == 0 || g.max_degree() > delta) continue;
       const auto optimum = eds::exact::minimum_eds_size(g);
       if (optimum == 0) continue;
-      const auto pg = eds::port::with_random_ports(g, rng);
-      const auto outcome =
-          eds::algo::run_algorithm(pg, Algorithm::kBoundedDegree, delta);
+      numberings.push_back(eds::port::with_random_ports(g, rng));
+      optima.push_back(optimum);
+    }
+    std::vector<eds::algo::BatchItem> items;
+    items.reserve(numberings.size());
+    for (const auto& pg : numberings) {
+      items.push_back({&pg, Algorithm::kBoundedDegree, delta});
+    }
+    const auto outcomes = eds::algo::run_batch(items);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
       feasible = feasible &&
-                 eds::analysis::is_edge_dominating_set(g, outcome.solution);
+                 eds::analysis::is_edge_dominating_set(numberings[i].graph(),
+                                                       outcomes[i].solution);
       const auto ratio = eds::analysis::approximation_ratio(
-          outcome.solution.size(), optimum);
+          outcomes[i].solution.size(), optima[i]);
       if (ratio > random_worst) random_worst = ratio;
     }
 

@@ -8,10 +8,17 @@
 #   EDS_WERROR  (ON)  - treat warnings as errors
 #   EDS_ASAN    (OFF) - AddressSanitizer on everything
 #   EDS_UBSAN   (OFF) - UndefinedBehaviorSanitizer on everything
+#   EDS_TSAN    (OFF) - ThreadSanitizer on everything (for the engine's
+#                       sharded round loop; incompatible with EDS_ASAN)
 
 option(EDS_WERROR "Treat compiler warnings as errors" ON)
 option(EDS_ASAN   "Enable AddressSanitizer"           OFF)
 option(EDS_UBSAN  "Enable UndefinedBehaviorSanitizer" OFF)
+option(EDS_TSAN   "Enable ThreadSanitizer"            OFF)
+
+if(EDS_TSAN AND EDS_ASAN)
+  message(FATAL_ERROR "EDS_TSAN and EDS_ASAN cannot be combined")
+endif()
 
 add_library(eds_build_flags INTERFACE)
 target_compile_options(eds_build_flags INTERFACE -Wall -Wextra -Wshadow -Wpedantic)
@@ -25,6 +32,9 @@ if(EDS_ASAN)
 endif()
 if(EDS_UBSAN)
   list(APPEND EDS_SANITIZER_FLAGS -fsanitize=undefined -fno-omit-frame-pointer)
+endif()
+if(EDS_TSAN)
+  list(APPEND EDS_SANITIZER_FLAGS -fsanitize=thread -fno-omit-frame-pointer)
 endif()
 if(EDS_SANITIZER_FLAGS)
   target_compile_options(eds_build_flags INTERFACE ${EDS_SANITIZER_FLAGS})

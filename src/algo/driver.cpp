@@ -5,6 +5,7 @@
 #include "algo/double_cover.hpp"
 #include "algo/odd_regular.hpp"
 #include "algo/port_one.hpp"
+#include "runtime/batch.hpp"
 #include "util/error.hpp"
 
 namespace eds::algo {
@@ -52,34 +53,73 @@ std::unique_ptr<runtime::ProgramFactory> make_factory(Algorithm algorithm,
   throw InvalidArgument("make_factory: unknown algorithm");
 }
 
-EdsOutcome run_algorithm(const port::PortedGraph& pg, Algorithm algorithm,
+namespace {
+
+/// Resolves the `param == 0` default from the graph (d-regular degree for
+/// kOddRegular, max degree for kBoundedDegree / kDoubleCover).
+port::Port resolve_param(const port::PortedGraph& pg, Algorithm algorithm,
                          port::Port param) {
-  if (param == 0) {
-    const auto& g = pg.graph();
-    switch (algorithm) {
-      case Algorithm::kOddRegular: {
-        const auto d = g.max_degree();
-        if (!g.is_regular(d)) {
-          throw InvalidArgument("run_algorithm: graph is not regular");
-        }
-        param = static_cast<port::Port>(d);
-        break;
+  if (param != 0) return param;
+  const auto& g = pg.graph();
+  switch (algorithm) {
+    case Algorithm::kOddRegular: {
+      const auto d = g.max_degree();
+      if (!g.is_regular(d)) {
+        throw InvalidArgument("run_algorithm: graph is not regular");
       }
-      case Algorithm::kBoundedDegree:
-      case Algorithm::kDoubleCover:
-        param = static_cast<port::Port>(std::max<std::size_t>(
-            g.max_degree(), 1));
-        break;
-      default:
-        break;
+      return static_cast<port::Port>(d);
     }
+    case Algorithm::kBoundedDegree:
+    case Algorithm::kDoubleCover:
+      return static_cast<port::Port>(std::max<std::size_t>(
+          g.max_degree(), 1));
+    default:
+      return param;
   }
+}
+
+}  // namespace
+
+EdsOutcome run_algorithm(const port::PortedGraph& pg, Algorithm algorithm,
+                         port::Port param, const runtime::ExecOptions& exec) {
+  param = resolve_param(pg, algorithm, param);
   const auto factory = make_factory(algorithm, param);
-  const auto result = runtime::run_synchronous(pg.ports(), *factory);
+  runtime::RunOptions options;
+  options.exec = exec;
+  const auto result = runtime::run_synchronous(pg.ports(), *factory, options);
   EdsOutcome outcome;
   outcome.solution = runtime::validated_edge_set(pg, result);
   outcome.stats = result.stats;
   return outcome;
+}
+
+std::vector<EdsOutcome> run_batch(const std::vector<BatchItem>& items,
+                                  unsigned threads) {
+  // Factories are built up front (and kept alive for the whole batch); the
+  // runs then fan out across the pool and come back in item order.
+  std::vector<std::unique_ptr<runtime::ProgramFactory>> factories;
+  std::vector<runtime::BatchJob> jobs;
+  factories.reserve(items.size());
+  jobs.reserve(items.size());
+  for (const auto& item : items) {
+    if (item.graph == nullptr) {
+      throw InvalidArgument("run_batch: item requires a graph");
+    }
+    const auto param = resolve_param(*item.graph, item.algorithm, item.param);
+    factories.push_back(make_factory(item.algorithm, param));
+    jobs.push_back({&item.graph->ports(), factories.back().get(), {}});
+  }
+
+  const runtime::BatchRunner runner(threads);
+  const auto results = runner.run(jobs);
+
+  std::vector<EdsOutcome> outcomes(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    outcomes[i].solution =
+        runtime::validated_edge_set(*items[i].graph, results[i]);
+    outcomes[i].stats = results[i].stats;
+  }
+  return outcomes;
 }
 
 Recommendation recommended_for(const graph::SimpleGraph& g) {

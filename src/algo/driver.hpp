@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graph/edge_set.hpp"
 #include "port/ported_graph.hpp"
@@ -41,10 +42,27 @@ struct EdsOutcome {
 
 /// Runs `algorithm` on `pg` and returns the validated solution.
 /// `param` defaults (0) resolve from the graph: d-regular degree for
-/// kOddRegular, max degree for kBoundedDegree / kDoubleCover.
+/// kOddRegular, max degree for kBoundedDegree / kDoubleCover.  `exec`
+/// selects the engine policy (ExecOptions{.threads = N}); the solution is
+/// identical for every policy.
 [[nodiscard]] EdsOutcome run_algorithm(const port::PortedGraph& pg,
                                        Algorithm algorithm,
-                                       port::Port param = 0);
+                                       port::Port param = 0,
+                                       const runtime::ExecOptions& exec = {});
+
+/// One job of a batch sweep; `graph` is non-owning and must outlive the
+/// run_batch call.  `param` resolves exactly as in run_algorithm.
+struct BatchItem {
+  const port::PortedGraph* graph = nullptr;
+  Algorithm algorithm = Algorithm::kBoundedDegree;
+  port::Port param = 0;
+};
+
+/// Runs every item concurrently over a BatchRunner pool with `threads`
+/// workers (0 = one per hardware thread) and returns the validated outcomes
+/// in item order — deterministically identical for every thread count.
+[[nodiscard]] std::vector<EdsOutcome> run_batch(
+    const std::vector<BatchItem>& items, unsigned threads = 0);
 
 /// The Table 1 row selector: the algorithm (and parameter) the paper
 /// prescribes for `g` — kAllEdges for max degree <= 1, kPortOne for

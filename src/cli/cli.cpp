@@ -15,9 +15,12 @@
 #include "lb/lower_bounds.hpp"
 #include "port/io.hpp"
 #include "port/ported_graph.hpp"
+#include "port/random_port_graph.hpp"
 #include "port/views.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/outputs.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace eds::cli {
 
@@ -79,14 +82,24 @@ void usage(std::ostream& out) {
          "  solve [--algorithm auto|all-edges|port-one|odd-regular|\n"
          "         bounded-degree|double-cover] [--param P]\n"
          "        [--ports random|canonical|factor] [--seed S]\n"
-         "        [--exact] [--dot]\n"
+         "        [--threads N] [--exact] [--dot]\n"
          "      reads an edge list from stdin, runs the algorithm, prints\n"
          "      the solution, round/message counts, and (with --exact) the\n"
-         "      approximation ratio; --dot appends Graphviz output\n"
+         "      approximation ratio; --dot appends Graphviz output;\n"
+         "      --threads N runs the engine's parallel policy (same result)\n"
+         "  sweep <family> [--min N] [--max N] [--step S] [--d D]\n"
+         "        [--algorithm A] [--param P] [--seed S] [--threads N]\n"
+         "      families: path | cycle | regular | portgraph\n"
+         "      fans one instance per size across the batch engine's thread\n"
+         "      pool (--threads N workers, 0 = all hardware threads) and\n"
+         "      prints one row per instance, in order, independent of N;\n"
+         "      sizes run --min..--max doubling, or by +S with --step S;\n"
+         "      regular/portgraph use degree --d (portgraph instances are\n"
+         "      random port-numbered multigraphs: loops, parallel edges)\n"
          "  lower-bound <d>\n"
          "      emits the Theorem 1 (even d) / Theorem 2 (odd d) adversarial\n"
          "      instance in port-graph format, with its optimum\n"
-         "  run-portgraph --algorithm A [--param P]\n"
+         "  run-portgraph --algorithm A [--param P] [--threads N]\n"
          "      reads a port graph (multigraphs allowed) from stdin and\n"
          "      prints each node's output port set\n"
          "  views [--radius T]\n"
@@ -224,8 +237,11 @@ int cmd_solve(const Args& args, std::istream& in, std::ostream& out,
     param = static_cast<port::Port>(args.get_u64("param", 0));
   }
 
+  runtime::ExecOptions exec;
+  exec.threads = static_cast<unsigned>(args.get_u64("threads", 1));
+
   try {
-    const auto outcome = algo::run_algorithm(*pg, algorithm, param);
+    const auto outcome = algo::run_algorithm(*pg, algorithm, param, exec);
     out << "graph: " << g.summary() << '\n';
     out << "algorithm: " << algo::algorithm_name(algorithm) << '\n';
     out << "rounds: " << outcome.stats.rounds
@@ -296,6 +312,7 @@ int cmd_run_portgraph(const Args& args, std::istream& in, std::ostream& out,
     const auto factory = algo::make_factory(*parsed, param);
     runtime::RunOptions options;
     options.collect_messages = args.has("trace");
+    options.exec.threads = static_cast<unsigned>(args.get_u64("threads", 1));
     const auto result = runtime::run_synchronous(g, *factory, options);
     const auto selected = runtime::validated_selection_size(g, result);
     if (args.has("trace")) out << runtime::format_transcript(result);
@@ -309,6 +326,147 @@ int cmd_run_portgraph(const Args& args, std::istream& in, std::ostream& out,
     return 0;
   } catch (const Error& e) {
     err << "run-portgraph: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto& pos = args.positional();
+  if (pos.size() < 2) {
+    err << "sweep: missing family (path|cycle|regular|portgraph)\n";
+    return 2;
+  }
+  const auto& family = pos[1];
+  const auto min_n = static_cast<std::size_t>(args.get_u64("min", 8));
+  const auto max_n = static_cast<std::size_t>(args.get_u64("max", 128));
+  const auto step = static_cast<std::size_t>(args.get_u64("step", 0));
+  const auto d = static_cast<std::size_t>(args.get_u64("d", 3));
+  const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  if (min_n == 0 || max_n < min_n) {
+    err << "sweep: need 0 < --min <= --max\n";
+    return 2;
+  }
+
+  // Sizes: doubling from --min by default, arithmetic with --step S.
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = min_n;;) {
+    sizes.push_back(n);
+    const std::size_t next = step == 0 ? n * 2 : n + step;
+    if (next <= n || next > max_n) break;
+    n = next;
+  }
+
+  const auto algo_name = args.get("algorithm", "auto");
+  std::optional<algo::Algorithm> fixed;
+  if (algo_name != "auto") {
+    fixed = parse_algorithm(algo_name);
+    if (!fixed) {
+      err << "sweep: unknown algorithm '" << algo_name << "'\n";
+      return 2;
+    }
+  }
+  const auto param = static_cast<port::Port>(args.get_u64("param", 0));
+  Rng rng(args.get_u64("seed", 1));
+
+  try {
+    if (family == "portgraph") {
+      // Random port-numbered multigraphs (loops and parallel edges): the
+      // fixed-algorithm path; `auto` means the bounded-degree family A(d).
+      std::vector<port::PortGraph> instances;
+      instances.reserve(sizes.size());
+      for (const auto n : sizes) {
+        instances.push_back(port::random_port_graph(
+            std::vector<port::Port>(n, static_cast<port::Port>(d)), rng));
+      }
+      const auto algorithm = fixed.value_or(algo::Algorithm::kBoundedDegree);
+      const auto factory = algo::make_factory(
+          algorithm, param != 0 ? param
+                                : static_cast<port::Port>(std::max<std::size_t>(
+                                      d, 1)));
+      std::vector<runtime::BatchJob> jobs;
+      jobs.reserve(instances.size());
+      for (const auto& g : instances) {
+        jobs.push_back({&g, factory.get(), {}});
+      }
+      const runtime::BatchRunner runner(threads);
+      const auto results = runner.run(jobs);
+
+      out << "sweep: family=portgraph d=" << d
+          << " algorithm=" << algo::algorithm_name(algorithm)
+          << " jobs=" << jobs.size() << '\n';
+      TextTable table("");
+      table.header({"n", "ports", "rounds", "messages", "selected"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto selected =
+            runtime::validated_selection_size(instances[i], results[i]);
+        table.row({std::to_string(sizes[i]),
+                   std::to_string(instances[i].num_ports()),
+                   std::to_string(results[i].stats.rounds),
+                   std::to_string(results[i].stats.messages_sent),
+                   std::to_string(selected)});
+      }
+      table.print(out);
+      return 0;
+    }
+
+    // Simple-graph families: generate sequentially (the RNG stream is the
+    // determinism contract), then fan the runs across the pool.
+    std::vector<port::PortedGraph> instances;
+    instances.reserve(sizes.size());
+    for (const auto n : sizes) {
+      graph::SimpleGraph g;
+      if (family == "path") {
+        g = graph::path(n);
+      } else if (family == "cycle") {
+        g = graph::cycle(n);
+      } else if (family == "regular") {
+        g = graph::random_regular(n, d, rng);
+      } else {
+        err << "sweep: unknown family '" << family << "'\n";
+        return 2;
+      }
+      instances.push_back(port::with_random_ports(std::move(g), rng));
+    }
+
+    std::vector<algo::BatchItem> items;
+    items.reserve(instances.size());
+    for (const auto& pg : instances) {
+      algo::BatchItem item;
+      item.graph = &pg;
+      if (fixed) {
+        item.algorithm = *fixed;
+        item.param = param;
+      } else {
+        const auto rec = algo::recommended_for(pg.graph());
+        item.algorithm = rec.algorithm;
+        item.param = rec.param;
+      }
+      items.push_back(item);
+    }
+    const auto outcomes = algo::run_batch(items, threads);
+
+    out << "sweep: family=" << family << " algorithm=" << algo_name
+        << " jobs=" << items.size() << '\n';
+    TextTable table("");
+    table.header({"n", "edges", "algorithm", "rounds", "messages", "|D|",
+                  "feasible"});
+    bool all_feasible = true;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const auto& g = instances[i].graph();
+      const bool feasible =
+          analysis::is_edge_dominating_set(g, outcomes[i].solution);
+      all_feasible = all_feasible && feasible;
+      table.row({std::to_string(sizes[i]), std::to_string(g.num_edges()),
+                 algo::algorithm_name(items[i].algorithm),
+                 std::to_string(outcomes[i].stats.rounds),
+                 std::to_string(outcomes[i].stats.messages_sent),
+                 std::to_string(outcomes[i].solution.size()),
+                 feasible ? "yes" : "NO"});
+    }
+    table.print(out);
+    return all_feasible ? 0 : 1;
+  } catch (const Error& e) {
+    err << "sweep: " << e.what() << '\n';
     return 1;
   }
 }
@@ -366,6 +524,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "run-portgraph") {
       return cmd_run_portgraph(parsed, in, out, err);
     }
+    if (command == "sweep") return cmd_sweep(parsed, out, err);
     if (command == "views") return cmd_views(parsed, in, out, err);
     if (command == "table1") return cmd_table1(out);
   } catch (const std::exception& e) {

@@ -3,12 +3,16 @@
 // Subcommands:
 //   generate <family> [args] [--seed S]      emit an edge list
 //   solve [--algorithm A] [--ports P]
-//         [--seed S] [--exact] [--dot]       read an edge list, run an
+//         [--seed S] [--threads N]
+//         [--exact] [--dot]                  read an edge list, run an
 //                                            algorithm, report the solution
+//   sweep <family> [--min N] [--max N]
+//         [--d D] [--threads N]              fan a generator family across
+//                                            the batch engine's thread pool
 //   lower-bound <d>                          emit a Theorem 1/2 instance
 //                                            (port-graph format + summary)
 //   run-portgraph --algorithm A --param P    run on a raw port graph
-//                                            (multigraphs welcome)
+//                 [--threads N]              (multigraphs welcome)
 //   views [--radius t]                       view equivalence classes of a
 //                                            port graph
 //   table1                                   print the measured Table 1

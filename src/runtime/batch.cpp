@@ -1,0 +1,39 @@
+#include "runtime/batch.hpp"
+
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace eds::runtime {
+
+BatchRunner::BatchRunner(unsigned threads) : pool_(threads) {}
+
+BatchRunner::~BatchRunner() = default;
+
+std::vector<RunResult> BatchRunner::run(
+    const std::vector<BatchJob>& jobs) const {
+  for (const auto& job : jobs) {
+    if (job.graph == nullptr || job.factory == nullptr) {
+      throw InvalidArgument("BatchRunner: job requires a graph and a factory");
+    }
+  }
+
+  std::vector<RunResult> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+
+  pool_.run(jobs.size(), [&](std::size_t i) {
+    try {
+      const BatchJob& job = jobs[i];
+      results[i] = run_synchronous(*job.graph, *job.factory, job.options);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace eds::runtime

@@ -1,0 +1,54 @@
+// BatchRunner: many independent synchronous executions over a thread pool.
+//
+// Sweeps, tables and benchmarks all share the same shape — run dozens to
+// thousands of (graph, program-factory, options) jobs and fold the results.
+// BatchRunner is the one engine entry point for that shape: jobs execute
+// concurrently across the pool (each job itself running under the policy its
+// options request, sequential by default), and results come back in job
+// order, so output is deterministic regardless of the thread count.
+//
+// Factories are shared across jobs and threads; ProgramFactory::create()
+// is const and every factory in this library is stateless, so concurrent
+// create() calls are safe.  If a job throws, the batch completes the
+// remaining jobs and then rethrows the failure of the *lowest-indexed*
+// failed job — again independent of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "port/port_graph.hpp"
+#include "runtime/program.hpp"
+#include "runtime/runner.hpp"
+#include "util/parallel.hpp"
+
+namespace eds::runtime {
+
+/// One unit of batch work.  `graph` and `factory` are non-owning and must
+/// outlive the run() call.
+struct BatchJob {
+  const port::PortGraph* graph = nullptr;
+  const ProgramFactory* factory = nullptr;
+  RunOptions options;
+};
+
+class BatchRunner {
+ public:
+  /// `threads` as in ExecOptions: number of concurrent jobs, 0 = one per
+  /// hardware thread.  The pool is created once here and reused by every
+  /// run() call.
+  explicit BatchRunner(unsigned threads = 0);
+  ~BatchRunner();
+
+  /// Executes every job and returns their results in job order.  Throws
+  /// InvalidArgument on a malformed job (null graph/factory) before any
+  /// job starts; rethrows the lowest-indexed job failure after the batch
+  /// drains.  Not safe for concurrent run() calls on one BatchRunner.
+  [[nodiscard]] std::vector<RunResult> run(
+      const std::vector<BatchJob>& jobs) const;
+
+ private:
+  mutable ThreadPool pool_;
+};
+
+}  // namespace eds::runtime

@@ -1,0 +1,267 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace eds::runtime {
+
+ExecutionPlan::ExecutionPlan(const port::PortGraph& g) {
+  const std::size_t n = g.num_nodes();
+  degrees_.resize(n);
+  offsets_.resize(n);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    degrees_[v] = g.degree(static_cast<port::NodeId>(v));
+    offsets_[v] = total;
+    total += degrees_[v];
+  }
+  partner_flat_.resize(total);
+  partner_ref_.resize(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (Port i = 1; i <= degrees_[v]; ++i) {
+      const auto q = offsets_[v] + i - 1;
+      const auto dst = g.partner(static_cast<port::NodeId>(v), i);
+      partner_ref_[q] = dst;
+      partner_flat_[q] = offsets_[dst.node] + dst.port - 1;
+    }
+  }
+}
+
+std::unique_ptr<ExecutionPolicy> make_policy(const ExecOptions& exec) {
+  if (exec.threads == 1) return std::make_unique<SequentialPolicy>();
+  return std::make_unique<ParallelPolicy>(exec.threads);
+}
+
+namespace {
+
+/// Per-shard accumulators; merged strictly in shard order so parallel runs
+/// reproduce the sequential order bit for bit.  Cache-line aligned so
+/// neighboring shards' counters never share a line (the stages additionally
+/// accumulate in stack locals and store once per stage).
+struct alignas(64) ShardScratch {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t ports_served = 0;
+  std::uint64_t round_messages = 0;
+  std::vector<DeliveredMessage> log;
+  std::vector<std::size_t> newly_halted;
+  std::exception_ptr error;
+
+  void reset() noexcept {
+    messages_sent = 0;
+    ports_served = 0;
+    round_messages = 0;
+    log.clear();
+    newly_halted.clear();
+    error = nullptr;
+  }
+};
+
+void rethrow_first(const std::vector<ShardScratch>& scratch,
+                   std::size_t shards) {
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (scratch[s].error) std::rethrow_exception(scratch[s].error);
+  }
+}
+
+}  // namespace
+
+RunResult run_plan(const ExecutionPlan& plan,
+                   std::vector<std::unique_ptr<NodeProgram>>& programs,
+                   const RunOptions& options, const std::string& name,
+                   ExecutionPolicy& policy) {
+  if (options.max_rounds == 0) {
+    throw InvalidArgument(
+        "run_synchronous: RunOptions::max_rounds must be positive");
+  }
+  const std::size_t n = plan.num_nodes();
+  EDS_ENSURE(programs.size() == n, "run_plan: one program per node required");
+
+  std::vector<Message> outbox(plan.total_ports(), kSilence);
+  std::vector<Message> inbox(plan.total_ports(), kSilence);
+
+  // The worklist: indices of non-halted nodes, always sorted ascending (it
+  // only ever loses elements), so contiguous shard ranges visit nodes in
+  // exactly the sequential order.
+  std::vector<char> halted(n, 0);
+  std::vector<std::size_t> active;
+  active.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    programs[v]->start(plan.degree(v));
+    if (programs[v]->halted()) {
+      // Degree-0 nodes (or trivial algorithms) may halt immediately.
+      halted[v] = 1;
+    } else {
+      active.push_back(v);
+    }
+  }
+
+  RunResult result;
+  result.messages_collected = options.collect_messages;
+  RunStats& stats = result.stats;
+
+  const unsigned lanes = std::max(1u, policy.lanes());
+  std::vector<ShardScratch> scratch(lanes);
+
+  Round round = 0;
+  while (!active.empty()) {
+    ++round;
+    if (round > options.max_rounds) {
+      std::ostringstream os;
+      os << "run_synchronous: algorithm '" << name << "' did not halt within "
+         << options.max_rounds << " rounds (" << active.size() << " of " << n
+         << " nodes still running)";
+      throw ExecutionError(os.str());
+    }
+
+    const std::size_t shards =
+        std::min<std::size_t>(lanes, active.size());
+    const auto shard_begin = [&](std::size_t s) {
+      return active.size() * s / shards;
+    };
+    for (std::size_t s = 0; s < shards; ++s) scratch[s].reset();
+
+    // Send: every active node's ports default to silence each round — a
+    // program sends only by writing this round (stale messages must not
+    // "ghost" into later ones).  Halted nodes' slots were silenced when
+    // they halted and are never written again.
+    policy.for_each_shard(shards, [&](std::size_t s) {
+      ShardScratch& sc = scratch[s];
+      try {
+        std::uint64_t ports_served = 0;
+        std::uint64_t messages_sent = 0;
+        const std::size_t end = shard_begin(s + 1);
+        for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
+          const std::size_t v = active[idx];
+          const Port deg = plan.degree(v);
+          const std::span<Message> out(&outbox[plan.offset(v)], deg);
+          std::fill(out.begin(), out.end(), kSilence);
+          programs[v]->send(round, out);
+          ports_served += deg;
+          for (const auto& m : out) {
+            if (!m.is_silence()) ++messages_sent;
+          }
+        }
+        sc.ports_served = ports_served;
+        sc.messages_sent = messages_sent;
+      } catch (...) {
+        sc.error = std::current_exception();
+      }
+    });
+    rethrow_first(scratch, shards);
+
+    // Route: the message sent on port (v, i) is received from port (u, j)
+    // where p(v, i) = (u, j); fixed points deliver to the sender itself.
+    // Race-free under sharding: each inbox slot has exactly one partner
+    // port (p is an involution), hence exactly one writer.  Inbox slots
+    // whose partner is halted were silenced at halt time and stay silent.
+    policy.for_each_shard(shards, [&](std::size_t s) {
+      ShardScratch& sc = scratch[s];
+      try {
+        std::uint64_t round_messages = 0;
+        const std::size_t end = shard_begin(s + 1);
+        for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
+          const std::size_t v = active[idx];
+          const Port deg = plan.degree(v);
+          const std::size_t off = plan.offset(v);
+          for (Port i = 1; i <= deg; ++i) {
+            const std::size_t q = off + i - 1;
+            const Message& m = outbox[q];
+            inbox[plan.partner_flat(q)] = m;
+            if (!m.is_silence()) {
+              ++round_messages;
+              if (options.collect_messages) {
+                sc.log.push_back({round,
+                                  {static_cast<port::NodeId>(v), i},
+                                  plan.partner_ref(q),
+                                  m});
+              }
+            }
+          }
+        }
+        sc.round_messages = round_messages;
+      } catch (...) {
+        sc.error = std::current_exception();
+      }
+    });
+    rethrow_first(scratch, shards);
+
+    // Receive: may flip nodes to halted; the flips are recorded per shard
+    // and applied after the barrier so the worklist is never mutated
+    // concurrently.
+    policy.for_each_shard(shards, [&](std::size_t s) {
+      ShardScratch& sc = scratch[s];
+      try {
+        const std::size_t end = shard_begin(s + 1);
+        for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
+          const std::size_t v = active[idx];
+          const std::span<const Message> in(&inbox[plan.offset(v)],
+                                            plan.degree(v));
+          programs[v]->receive(round, in);
+          if (programs[v]->halted()) sc.newly_halted.push_back(v);
+        }
+      } catch (...) {
+        sc.error = std::current_exception();
+      }
+    });
+    rethrow_first(scratch, shards);
+
+    // Merge, strictly in shard order.
+    std::uint64_t round_messages = 0;
+    bool any_halted = false;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const ShardScratch& sc = scratch[s];
+      stats.messages_sent += sc.messages_sent;
+      stats.ports_served += sc.ports_served;
+      round_messages += sc.round_messages;
+      if (options.collect_messages) {
+        result.message_log.insert(result.message_log.end(), sc.log.begin(),
+                                  sc.log.end());
+      }
+      for (const std::size_t v : sc.newly_halted) {
+        any_halted = true;
+        halted[v] = 1;
+        // A halted node sends silence forever: silence its outbox slots
+        // (never written again) and the inbox slots they feed (never
+        // routed again — their sender left the worklist).
+        const Port deg = plan.degree(v);
+        const std::size_t off = plan.offset(v);
+        for (Port i = 1; i <= deg; ++i) {
+          const std::size_t q = off + i - 1;
+          outbox[q] = kSilence;
+          inbox[plan.partner_flat(q)] = kSilence;
+        }
+      }
+    }
+    if (any_halted) {
+      std::erase_if(active, [&](std::size_t v) { return halted[v] != 0; });
+    }
+
+    if (options.collect_trace) {
+      result.trace.push_back({round, round_messages, n - active.size()});
+    }
+  }
+
+  stats.rounds = round;
+  result.outputs.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto ports = programs[v]->output();
+    std::sort(ports.begin(), ports.end());
+    const Port deg = plan.degree(v);
+    for (const Port p : ports) {
+      if (p < 1 || p > deg) {
+        throw ExecutionError(
+            "run_synchronous: node output contains an invalid port number");
+      }
+    }
+    if (std::adjacent_find(ports.begin(), ports.end()) != ports.end()) {
+      throw ExecutionError(
+          "run_synchronous: node output contains a duplicate port");
+    }
+    result.outputs[v] = std::move(ports);
+  }
+  return result;
+}
+
+}  // namespace eds::runtime

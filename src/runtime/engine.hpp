@@ -1,0 +1,139 @@
+// The execution engine: a compiled per-graph plan plus pluggable policies
+// that decide *how* the synchronous rounds are driven.
+//
+// The paper's algorithms are local — O(1) or O(∆²) rounds — so essentially
+// all wall-clock time in this reproduction is simulator overhead, not
+// algorithm logic.  This layer attacks that overhead twice over:
+//
+//  * ExecutionPlan precomputes everything the round loop needs as flat
+//    arrays (degrees, port offsets, the involution as flat indices), so the
+//    inner loops never pay PortGraph's bounds-checked lookups.
+//
+//  * Policies schedule the three per-round stages (send, route, receive)
+//    over an *active-node worklist*: nodes that halted are removed, so a
+//    long tail of halted nodes costs zero per round.  SequentialPolicy runs
+//    the stages inline; ParallelPolicy shards the worklist into contiguous
+//    ranges across a thread pool with a barrier between stages.  The stages
+//    are data-parallel by construction: outbox slots are written only by
+//    their owning sender, and each inbox slot is written only by its unique
+//    partner port (p is an involution), so shards never contend.
+//
+// Hard guarantee, enforced by differential tests: every policy produces
+// bit-identical RunResults — outputs, stats, trace, and message-log order.
+// Parallel merges always combine per-shard results in shard (= node-range)
+// order, which is exactly the sequential order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "port/port_graph.hpp"
+#include "runtime/program.hpp"
+#include "runtime/runner.hpp"
+#include "util/parallel.hpp"
+
+namespace eds::runtime {
+
+/// Immutable, flat-array view of a PortGraph, precomputed once per run (or
+/// shared across many runs on the same graph).  All accessors are unchecked
+/// hot-path lookups; the constructor performs no validation of its own and
+/// relies on the PortGraph invariants (PortGraphBuilder::build and
+/// read_port_graph both verify the involution before a graph exists).
+class ExecutionPlan {
+ public:
+  explicit ExecutionPlan(const port::PortGraph& g);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return degrees_.size();
+  }
+  [[nodiscard]] std::size_t total_ports() const noexcept {
+    return partner_flat_.size();
+  }
+  /// Degree of node v (unchecked).
+  [[nodiscard]] Port degree(std::size_t v) const noexcept {
+    return degrees_[v];
+  }
+  /// Flat index of port (v, 1); port (v, i) lives at offset(v) + i - 1.
+  [[nodiscard]] std::size_t offset(std::size_t v) const noexcept {
+    return offsets_[v];
+  }
+  /// Flat index of the involution partner of flat port q (unchecked).
+  [[nodiscard]] std::size_t partner_flat(std::size_t q) const noexcept {
+    return partner_flat_[q];
+  }
+  /// The involution partner of flat port q as a (node, port) pair.
+  [[nodiscard]] port::PortRef partner_ref(std::size_t q) const noexcept {
+    return partner_ref_[q];
+  }
+
+ private:
+  std::vector<Port> degrees_;
+  std::vector<std::size_t> offsets_;       // prefix sums of degrees
+  std::vector<std::size_t> partner_flat_;  // involution over flat indices
+  std::vector<port::PortRef> partner_ref_; // involution as (node, port)
+};
+
+/// How the per-round stages are scheduled.  A policy is reusable across
+/// runs but not safe for concurrent use by multiple runs.
+class ExecutionPolicy {
+ public:
+  virtual ~ExecutionPolicy() = default;
+
+  /// Number of lanes the stages are sharded across (1 = sequential).
+  [[nodiscard]] virtual unsigned lanes() const noexcept = 0;
+
+  /// Executes fn(s) for every shard s in [0, shards) and returns when all
+  /// calls have finished (the inter-stage barrier).  `fn` must not throw.
+  virtual void for_each_shard(
+      std::size_t shards, const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// The seed semantics, stage by stage on one thread — plus the worklist.
+class SequentialPolicy final : public ExecutionPolicy {
+ public:
+  [[nodiscard]] unsigned lanes() const noexcept override { return 1; }
+  void for_each_shard(
+      std::size_t shards,
+      const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+  }
+};
+
+/// Shards each stage's worklist range across a persistent thread pool with
+/// a barrier per stage.  `threads` as in ExecOptions (0 = hardware lanes).
+class ParallelPolicy final : public ExecutionPolicy {
+ public:
+  explicit ParallelPolicy(unsigned threads = 0) : pool_(threads) {}
+
+  [[nodiscard]] unsigned lanes() const noexcept override {
+    return pool_.lanes();
+  }
+  void for_each_shard(
+      std::size_t shards,
+      const std::function<void(std::size_t)>& fn) override {
+    pool_.run(shards, fn);
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+/// The policy ExecOptions selects: SequentialPolicy for threads == 1,
+/// ParallelPolicy otherwise.
+[[nodiscard]] std::unique_ptr<ExecutionPolicy> make_policy(
+    const ExecOptions& exec);
+
+/// Drives `programs` (one per node, already constructed, not yet started)
+/// over the plan's graph until every node halts, scheduling stages with
+/// `policy`.  This is the engine core under run_synchronous; call it
+/// directly to reuse a plan or a policy (and its thread pool) across runs.
+[[nodiscard]] RunResult run_plan(
+    const ExecutionPlan& plan,
+    std::vector<std::unique_ptr<NodeProgram>>& programs,
+    const RunOptions& options, const std::string& name,
+    ExecutionPolicy& policy);
+
+}  // namespace eds::runtime

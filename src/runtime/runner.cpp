@@ -1,132 +1,19 @@
 #include "runtime/runner.hpp"
 
-#include <algorithm>
 #include <sstream>
+
+#include "runtime/engine.hpp"
 
 namespace eds::runtime {
 
-namespace {
-
-RunResult run_loop(const port::PortGraph& g,
-                   std::vector<std::unique_ptr<NodeProgram>>& programs,
-                   const RunOptions& options, const std::string& name) {
-  const std::size_t n = g.num_nodes();
-
-  // Flat mailboxes indexed by (node, port): `outbox` holds what each port
-  // sends this round, `inbox` what it receives.
-  std::vector<std::size_t> offset(n, 0);
-  std::size_t total_ports = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    offset[v] = total_ports;
-    total_ports += g.degree(static_cast<port::NodeId>(v));
-  }
-  std::vector<Message> outbox(total_ports, kSilence);
-  std::vector<Message> inbox(total_ports, kSilence);
-
-  std::vector<bool> halted(n, false);
-  std::size_t halted_count = 0;
-
-  for (std::size_t v = 0; v < n; ++v) {
-    programs[v]->start(g.degree(static_cast<port::NodeId>(v)));
-    if (programs[v]->halted()) {
-      // Degree-0 nodes (or trivial algorithms) may halt immediately.
-      halted[v] = true;
-      ++halted_count;
-    }
-  }
-
-  RunResult result;
-  RunStats& stats = result.stats;
-
-  Round round = 0;
-  while (halted_count < n) {
-    ++round;
-    if (round > options.max_rounds) {
-      std::ostringstream os;
-      os << "run_synchronous: algorithm '" << name << "' did not halt within "
-         << options.max_rounds << " rounds (" << (n - halted_count) << " of "
-         << n << " nodes still running)";
-      throw ExecutionError(os.str());
-    }
-
-    // Send: every port defaults to silence each round — a program sends a
-    // message only by writing it this round (otherwise stale messages from
-    // earlier rounds would "ghost" into later ones).  Halted nodes stay
-    // silent.
-    std::fill(outbox.begin(), outbox.end(), kSilence);
-    for (std::size_t v = 0; v < n; ++v) {
-      const auto deg = g.degree(static_cast<port::NodeId>(v));
-      const std::span<Message> out(&outbox[offset[v]], deg);
-      if (!halted[v]) {
-        programs[v]->send(round, out);
-      }
-      stats.ports_served += deg;
-      for (const auto& m : out) {
-        if (!m.is_silence()) ++stats.messages_sent;
-      }
-    }
-
-    // Route: the message sent on port (v, i) is received from port (u, j)
-    // where p(v, i) = (u, j).  Fixed points deliver to the sender itself.
-    std::uint64_t round_messages = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      const auto deg = g.degree(static_cast<port::NodeId>(v));
-      for (Port i = 1; i <= deg; ++i) {
-        const auto dst = g.partner(static_cast<port::NodeId>(v), i);
-        const Message& m = outbox[offset[v] + i - 1];
-        inbox[offset[dst.node] + dst.port - 1] = m;
-        if (!m.is_silence()) {
-          ++round_messages;
-          if (options.collect_messages) {
-            result.message_log.push_back(
-                {round, {static_cast<port::NodeId>(v), i}, dst, m});
-          }
-        }
-      }
-    }
-
-    // Receive: halted nodes ignore input.
-    for (std::size_t v = 0; v < n; ++v) {
-      if (halted[v]) continue;
-      const auto deg = g.degree(static_cast<port::NodeId>(v));
-      const std::span<const Message> in(&inbox[offset[v]], deg);
-      programs[v]->receive(round, in);
-      if (programs[v]->halted()) {
-        halted[v] = true;
-        ++halted_count;
-      }
-    }
-
-    if (options.collect_trace) {
-      result.trace.push_back({round, round_messages, halted_count});
-    }
-  }
-
-  stats.rounds = round;
-  result.outputs.resize(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    auto ports = programs[v]->output();
-    std::sort(ports.begin(), ports.end());
-    const auto deg = g.degree(static_cast<port::NodeId>(v));
-    for (const Port p : ports) {
-      if (p < 1 || p > deg) {
-        throw ExecutionError(
-            "run_synchronous: node output contains an invalid port number");
-      }
-    }
-    if (std::adjacent_find(ports.begin(), ports.end()) != ports.end()) {
-      throw ExecutionError(
-          "run_synchronous: node output contains a duplicate port");
-    }
-    result.outputs[v] = std::move(ports);
-  }
-  return result;
-}
-
-}  // namespace
-
 std::string format_transcript(const RunResult& result) {
   std::ostringstream os;
+  if (!result.messages_collected) {
+    os << "(no transcript: the run was executed without "
+          "RunOptions::collect_messages)\n";
+  } else if (result.message_log.empty()) {
+    os << "(no messages were delivered)\n";
+  }
   Round current = 0;
   for (const auto& m : result.message_log) {
     if (m.round != current) {
@@ -154,7 +41,9 @@ RunResult run_synchronous(const port::PortGraph& g,
       throw ExecutionError("run_synchronous: factory returned null program");
     }
   }
-  return run_loop(g, programs, options, factory.name());
+  const ExecutionPlan plan(g);
+  const auto policy = make_policy(options.exec);
+  return run_plan(plan, programs, options, factory.name(), *policy);
 }
 
 RunResult run_synchronous_programs(
@@ -170,7 +59,9 @@ RunResult run_synchronous_programs(
       throw InvalidArgument("run_synchronous_programs: null program");
     }
   }
-  return run_loop(g, programs, options, name);
+  const ExecutionPlan plan(g);
+  const auto policy = make_policy(options.exec);
+  return run_plan(plan, programs, options, name, *policy);
 }
 
 }  // namespace eds::runtime

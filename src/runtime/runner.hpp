@@ -1,13 +1,20 @@
 // The synchronous executor for the port-numbering model.
 //
-// SyncRunner implements Section 2.2 of the paper exactly: in each round every
-// non-halted node performs local computation, sends one message to each of
-// its ports, and receives one message from each of its ports; the involution
-// p routes traffic (including directed loops, where a node receives its own
-// message).  Halted nodes emit silence and ignore input.  The execution ends
-// when every node has halted, or fails with ExecutionError when the round
-// limit is exceeded (deterministic algorithms that do not halt would
-// otherwise loop forever).
+// run_synchronous implements Section 2.2 of the paper exactly: in each round
+// every non-halted node performs local computation, sends one message to each
+// of its ports, and receives one message from each of its ports; the
+// involution p routes traffic (including directed loops, where a node
+// receives its own message).  Halted nodes emit silence and ignore input.
+// The execution ends when every node has halted, or fails with
+// ExecutionError when the round limit is exceeded (deterministic algorithms
+// that do not halt would otherwise loop forever).
+//
+// The actual round loop lives in the engine layer (runtime/engine.hpp):
+// run_synchronous compiles the graph into an ExecutionPlan and executes it
+// under the policy selected by RunOptions::exec — SequentialPolicy by
+// default, ParallelPolicy when more than one thread is requested.  Every
+// policy produces bit-identical RunResults (outputs, stats, trace, message
+// log order); the choice only affects wall-clock time.
 #pragma once
 
 #include <cstdint>
@@ -20,8 +27,19 @@
 
 namespace eds::runtime {
 
+/// Execution-policy selection (the engine layer's one knob).
+struct ExecOptions {
+  /// Lanes to execute each round's send/route/receive stages on:
+  /// 1 = SequentialPolicy (default), >1 = ParallelPolicy with that many
+  /// lanes, 0 = ParallelPolicy with one lane per hardware thread.
+  unsigned threads = 1;
+
+  [[nodiscard]] bool operator==(const ExecOptions&) const = default;
+};
+
 struct RunOptions {
-  /// Hard cap on rounds; exceeding it throws ExecutionError.
+  /// Hard cap on rounds; exceeding it throws ExecutionError.  Must be
+  /// positive — a zero cap is rejected up front with InvalidArgument.
   Round max_rounds = 100000;
 
   /// Record a per-round trace (message counts, halts) in RunResult::trace.
@@ -30,6 +48,9 @@ struct RunOptions {
   /// Record every delivered non-silence message in RunResult::message_log
   /// (for transcripts and debugging; memory grows with traffic).
   bool collect_messages = false;
+
+  /// Execution policy (thread count); does not affect results.
+  ExecOptions exec;
 };
 
 /// One delivered message, as recorded by RunOptions::collect_messages.
@@ -38,13 +59,23 @@ struct DeliveredMessage {
   port::PortRef from;  ///< sender's (node, port)
   port::PortRef to;    ///< receiver's (node, port)
   Message payload;
+
+  [[nodiscard]] bool operator==(const DeliveredMessage&) const = default;
 };
 
 /// Aggregate execution statistics.
 struct RunStats {
   Round rounds = 0;                 ///< rounds until the last node halted
   std::uint64_t messages_sent = 0;  ///< non-silence messages over all rounds
-  std::uint64_t ports_served = 0;   ///< total port-slots (incl. silence)
+
+  /// Total port-slots of *non-halted* nodes, summed over rounds: each round
+  /// contributes the degree of every node that is still running.  Halted
+  /// nodes neither send nor receive, so their ports are not "served" — this
+  /// is the unit of simulator work the worklist scheduler actually performs
+  /// (invariant: ports_served == Σ_v d(v) · halt_round(v)).
+  std::uint64_t ports_served = 0;
+
+  [[nodiscard]] bool operator==(const RunStats&) const = default;
 };
 
 /// Per-round trace entry (only with RunOptions::collect_trace).
@@ -52,6 +83,8 @@ struct RoundTrace {
   Round round = 0;
   std::uint64_t messages = 0;   ///< non-silence messages this round
   std::size_t halted_nodes = 0; ///< cumulative halted count after the round
+
+  [[nodiscard]] bool operator==(const RoundTrace&) const = default;
 };
 
 /// Execution outcome: every node's announced output plus statistics.
@@ -60,10 +93,18 @@ struct RunResult {
   RunStats stats;
   std::vector<RoundTrace> trace;
   std::vector<DeliveredMessage> message_log;
+
+  /// Whether RunOptions::collect_messages was on — distinguishes "no
+  /// messages were recorded" from "recording was disabled".
+  bool messages_collected = false;
+
+  [[nodiscard]] bool operator==(const RunResult&) const = default;
 };
 
 /// Renders a recorded message log as a human-readable round-by-round
-/// transcript ("r3  (5,2) -> (7,1)  tag=3 [1 0 0]").
+/// transcript ("r3  (5,2) -> (7,1)  tag=3 [1 0 0]").  When the run was
+/// executed without RunOptions::collect_messages, says so explicitly
+/// instead of printing an empty transcript.
 [[nodiscard]] std::string format_transcript(const RunResult& result);
 
 /// Runs `factory`'s program on every node of `g` until all halt.

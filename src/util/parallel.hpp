@@ -1,0 +1,67 @@
+// A minimal fork-join thread pool.
+//
+// Both parallel execution layers of the runtime are built on this one
+// primitive: ParallelPolicy shards the nodes of a single round across lanes,
+// and BatchRunner fans independent (graph, program, options) jobs across
+// them.  The pool is deliberately tiny — persistent workers, one blocking
+// run() that executes fn(0..tasks-1) with dynamic load balancing — because
+// everything determinism-sensitive (merge order, result order) is handled by
+// the callers, which always combine per-task results in task-index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eds {
+
+/// Number of lanes to use for `requested` threads: `requested` itself, or
+/// std::thread::hardware_concurrency() (at least 1) when `requested` is 0.
+/// Clamped to kMaxLanes — results never depend on the lane count, so a
+/// huge request must not exhaust OS threads.
+inline constexpr unsigned kMaxLanes = 256;
+[[nodiscard]] unsigned resolve_threads(unsigned requested) noexcept;
+
+/// Persistent fork-join pool with `lanes` concurrent lanes (the calling
+/// thread is one of them, so `lanes - 1` workers are spawned).
+class ThreadPool {
+ public:
+  /// `threads` as in resolve_threads(); a pool with one lane degenerates to
+  /// running everything inline on the caller.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned lanes() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Executes fn(i) for every i in [0, tasks), distributing indices across
+  /// all lanes (the caller participates), and blocks until every call has
+  /// returned.  `fn` must be safe to invoke concurrently and must not throw —
+  /// callers that can fail capture std::exception_ptr per task themselves.
+  /// Not reentrant: run() must not be called from inside `fn`.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work_through_current_batch();
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // current batch
+  std::size_t tasks_ = 0;        // size of the current batch
+  std::size_t next_task_ = 0;    // next unclaimed index
+  std::size_t in_flight_ = 0;    // claimed but unfinished tasks
+  std::uint64_t generation_ = 0; // bumped per batch so workers don't re-enter
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eds

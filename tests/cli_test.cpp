@@ -140,5 +140,79 @@ TEST(Cli, Table1IsTight) {
   EXPECT_NE(run.out.find("yes"), std::string::npos);
 }
 
+TEST(Cli, SolveThreadsDoesNotChangeTheResult) {
+  const auto gen = invoke({"generate", "regular", "16", "4", "--seed", "3"});
+  ASSERT_EQ(gen.code, 0);
+  const auto seq = invoke(
+      {"solve", "--algorithm", "port-one", "--seed", "9"}, gen.out);
+  const auto par = invoke(
+      {"solve", "--algorithm", "port-one", "--seed", "9", "--threads", "4"},
+      gen.out);
+  ASSERT_EQ(seq.code, 0) << seq.err;
+  ASSERT_EQ(par.code, 0) << par.err;
+  EXPECT_EQ(seq.out, par.out);
+}
+
+TEST(Cli, RunPortgraphThreadsDoesNotChangeTheResult) {
+  const auto lb = invoke({"lower-bound", "6"});
+  ASSERT_EQ(lb.code, 0);
+  const auto seq = invoke(
+      {"run-portgraph", "--algorithm", "port-one"}, lb.out);
+  const auto par = invoke(
+      {"run-portgraph", "--algorithm", "port-one", "--threads", "8"}, lb.out);
+  ASSERT_EQ(seq.code, 0) << seq.err;
+  ASSERT_EQ(par.code, 0) << par.err;
+  EXPECT_EQ(seq.out, par.out);
+}
+
+TEST(Cli, SweepRunsEveryFamily) {
+  const auto cycles =
+      invoke({"sweep", "cycle", "--min", "8", "--max", "32"});
+  ASSERT_EQ(cycles.code, 0) << cycles.err;
+  EXPECT_NE(cycles.out.find("jobs=3"), std::string::npos);
+  EXPECT_EQ(cycles.out.find("NO"), std::string::npos);
+
+  const auto paths = invoke({"sweep", "path", "--min", "4", "--max", "16",
+                             "--step", "4"});
+  ASSERT_EQ(paths.code, 0) << paths.err;
+  EXPECT_NE(paths.out.find("jobs=4"), std::string::npos);
+
+  const auto regular = invoke({"sweep", "regular", "--min", "8", "--max",
+                               "16", "--d", "3", "--seed", "11"});
+  ASSERT_EQ(regular.code, 0) << regular.err;
+  EXPECT_NE(regular.out.find("odd-regular"), std::string::npos);
+
+  const auto multi = invoke({"sweep", "portgraph", "--min", "4", "--max",
+                             "16", "--d", "4", "--seed", "11"});
+  ASSERT_EQ(multi.code, 0) << multi.err;
+  EXPECT_NE(multi.out.find("selected"), std::string::npos);
+}
+
+TEST(Cli, SweepIsDeterministicAcrossThreadCounts) {
+  const std::vector<std::string> base{"sweep",  "regular", "--min", "8",
+                                      "--max",  "64",      "--d",   "3",
+                                      "--seed", "42"};
+  auto one = base;
+  one.insert(one.end(), {"--threads", "1"});
+  auto many = base;
+  many.insert(many.end(), {"--threads", "8"});
+  const auto a = invoke(one);
+  const auto b = invoke(many);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SweepErrors) {
+  EXPECT_EQ(invoke({"sweep"}).code, 2);
+  EXPECT_EQ(invoke({"sweep", "nosuch"}).code, 2);
+  EXPECT_EQ(invoke({"sweep", "cycle", "--min", "0"}).code, 2);
+  EXPECT_EQ(invoke({"sweep", "cycle", "--min", "9", "--max", "4"}).code, 2);
+  EXPECT_EQ(
+      invoke({"sweep", "cycle", "--algorithm", "nosuch"}).code, 2);
+  // cycle(2) is invalid: the generator error surfaces as exit code 1.
+  EXPECT_EQ(invoke({"sweep", "cycle", "--min", "2", "--max", "2"}).code, 1);
+}
+
 }  // namespace
 }  // namespace eds::cli

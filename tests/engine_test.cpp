@@ -1,0 +1,436 @@
+// The execution engine's hard guarantee: every policy (sequential worklist,
+// parallel sharded rounds, batch pool) produces bit-identical RunResults —
+// outputs, stats, trace, and message-log order — and matches the seed
+// semantics, reimplemented here as a policy-free oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "algo/bounded_degree.hpp"
+#include "algo/double_cover.hpp"
+#include "algo/driver.hpp"
+#include "algo/port_one.hpp"
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "port/random_port_graph.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/runner.hpp"
+#include "util/rng.hpp"
+#include "test_util.hpp"
+
+namespace eds::runtime {
+namespace {
+
+using port::Port;
+using port::PortGraph;
+using port::PortGraphBuilder;
+
+/// Seed-semantics oracle: the pre-engine run loop — every node scanned
+/// every round, no worklist, no sharding — with ports_served counted for
+/// non-halted nodes per the documented definition.
+RunResult reference_run(const PortGraph& g, const ProgramFactory& factory,
+                        const RunOptions& options) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < n; ++v) programs.push_back(factory.create());
+
+  std::vector<std::size_t> offset(n, 0);
+  std::size_t total_ports = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offset[v] = total_ports;
+    total_ports += g.degree(static_cast<port::NodeId>(v));
+  }
+  std::vector<Message> outbox(total_ports, kSilence);
+  std::vector<Message> inbox(total_ports, kSilence);
+
+  std::vector<bool> halted(n, false);
+  std::size_t halted_count = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    programs[v]->start(g.degree(static_cast<port::NodeId>(v)));
+    if (programs[v]->halted()) {
+      halted[v] = true;
+      ++halted_count;
+    }
+  }
+
+  RunResult result;
+  result.messages_collected = options.collect_messages;
+  Round round = 0;
+  while (halted_count < n) {
+    ++round;
+    if (round > options.max_rounds) {
+      throw ExecutionError("reference_run: round limit exceeded");
+    }
+    std::fill(outbox.begin(), outbox.end(), kSilence);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto deg = g.degree(static_cast<port::NodeId>(v));
+      const std::span<Message> out(&outbox[offset[v]], deg);
+      if (halted[v]) continue;
+      programs[v]->send(round, out);
+      result.stats.ports_served += deg;
+      for (const auto& m : out) {
+        if (!m.is_silence()) ++result.stats.messages_sent;
+      }
+    }
+    std::uint64_t round_messages = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto deg = g.degree(static_cast<port::NodeId>(v));
+      for (Port i = 1; i <= deg; ++i) {
+        const auto dst = g.partner(static_cast<port::NodeId>(v), i);
+        const Message& m = outbox[offset[v] + i - 1];
+        inbox[offset[dst.node] + dst.port - 1] = m;
+        if (!m.is_silence()) {
+          ++round_messages;
+          if (options.collect_messages) {
+            result.message_log.push_back(
+                {round, {static_cast<port::NodeId>(v), i}, dst, m});
+          }
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (halted[v]) continue;
+      const auto deg = g.degree(static_cast<port::NodeId>(v));
+      const std::span<const Message> in(&inbox[offset[v]], deg);
+      programs[v]->receive(round, in);
+      if (programs[v]->halted()) {
+        halted[v] = true;
+        ++halted_count;
+      }
+    }
+    if (options.collect_trace) {
+      result.trace.push_back({round, round_messages, halted_count});
+    }
+  }
+  result.stats.rounds = round;
+  result.outputs.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto ports = programs[v]->output();
+    std::sort(ports.begin(), ports.end());
+    result.outputs[v] = std::move(ports);
+  }
+  return result;
+}
+
+using test::EchoFactory;
+using test::EchoProgram;
+
+class NeverHaltFactory final : public ProgramFactory {
+  class P final : public NodeProgram {
+   public:
+    void start(Port) override {}
+    void send(Round, std::span<Message>) override {}
+    void receive(Round, std::span<const Message>) override {}
+    [[nodiscard]] bool halted() const override { return false; }
+    [[nodiscard]] std::vector<Port> output() const override { return {}; }
+  };
+
+ public:
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<P>();
+  }
+  [[nodiscard]] std::string name() const override { return "never-halt"; }
+};
+
+/// Thread counts every differential test sweeps: sequential, a small and a
+/// large parallel pool, plus an optional extra count from EDS_TEST_THREADS
+/// (the sanitizer CI job uses this to stress the sharded loop harder).
+std::vector<unsigned> policy_thread_counts() {
+  std::vector<unsigned> counts{1, 2, 8};
+  if (const char* env = std::getenv("EDS_TEST_THREADS")) {
+    const auto extra =
+        static_cast<unsigned>(std::strtoul(env, nullptr, 0));
+    if (extra > 0 &&
+        std::find(counts.begin(), counts.end(), extra) == counts.end()) {
+      counts.push_back(extra);
+    }
+  }
+  return counts;
+}
+
+void expect_all_policies_match(const PortGraph& g,
+                               const ProgramFactory& factory,
+                               const char* label) {
+  RunOptions options;
+  options.collect_trace = true;
+  options.collect_messages = true;
+  const auto expected = reference_run(g, factory, options);
+  for (const unsigned threads : policy_thread_counts()) {
+    options.exec.threads = threads;
+    const auto got = run_synchronous(g, factory, options);
+    EXPECT_TRUE(got == expected)
+        << label << ": policy with threads=" << threads
+        << " diverged from the seed semantics (rounds " << got.stats.rounds
+        << " vs " << expected.stats.rounds << ", messages "
+        << got.stats.messages_sent << " vs " << expected.stats.messages_sent
+        << ", log " << got.message_log.size() << " vs "
+        << expected.message_log.size() << ")";
+  }
+}
+
+TEST(Engine, DifferentialOnPaperFixtures) {
+  const auto h = test::figure2_graph_h();
+  const auto p4 = port::with_canonical_ports(test::p4());
+  const auto m = test::figure2_multigraph_m();  // loops, parallel edges
+
+  for (const Round rounds : {1u, 3u, 7u}) {
+    const EchoFactory echo(rounds);
+    expect_all_policies_match(h.ports(), echo, "figure-2 H");
+    expect_all_policies_match(p4.ports(), echo, "p4");
+    expect_all_policies_match(m, echo, "figure-2 M");
+  }
+  expect_all_policies_match(h.ports(), algo::PortOneFactory(), "figure-2 H");
+  expect_all_policies_match(h.ports(), algo::DoubleCoverFactory(3),
+                            "figure-2 H");
+  expect_all_policies_match(h.ports(), algo::BoundedDegreeFactory(3),
+                            "figure-2 H");
+  expect_all_policies_match(m, algo::PortOneFactory(), "figure-2 M");
+  expect_all_policies_match(m, algo::DoubleCoverFactory(4), "figure-2 M");
+}
+
+TEST(Engine, DifferentialOnRandomPortedGraphs) {
+  auto rng = test::make_rng(0xE61);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto pg = test::random_ported_regular(20, 4, rng);
+    expect_all_policies_match(pg.ports(), algo::PortOneFactory(),
+                              "random 4-regular");
+    expect_all_policies_match(pg.ports(), algo::BoundedDegreeFactory(4),
+                              "random 4-regular");
+    const auto bounded = test::random_ported_bounded(24, 5, 40, rng);
+    expect_all_policies_match(bounded.ports(), algo::BoundedDegreeFactory(5),
+                              "random bounded");
+  }
+}
+
+TEST(Engine, DifferentialOnRandomMultigraphs) {
+  // Uniform random involutions: parallel edges, undirected loops and
+  // directed loops all appear — the full generality of the model.
+  auto rng = test::make_rng(0xE62);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Port> degrees(12);
+    for (auto& d : degrees) d = static_cast<Port>(rng.below(5));
+    const auto g = port::random_port_graph(degrees, rng);
+    Port max_degree = 1;
+    for (const auto d : degrees) max_degree = std::max(max_degree, d);
+    expect_all_policies_match(g, EchoFactory(4), "random multigraph");
+    expect_all_policies_match(g, algo::DoubleCoverFactory(max_degree),
+                              "random multigraph");
+  }
+}
+
+TEST(Engine, WorklistSkipsHaltedNodes) {
+  // 90% of nodes halt in round 1; the long tail must not be charged for
+  // them.  ports_served counts only non-halted nodes:
+  // 2 ports x (90 nodes x 1 round + 10 nodes x 30 rounds) = 780.
+  const auto pg = port::with_canonical_ports(graph::cycle(100));
+  const auto make_programs = [] {
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (std::size_t v = 0; v < 100; ++v) {
+      programs.push_back(
+          std::make_unique<EchoProgram>(v % 10 == 0 ? 30 : 1));
+    }
+    return programs;
+  };
+
+  RunOptions options;
+  options.collect_trace = true;
+  options.collect_messages = true;
+  const auto sequential =
+      run_synchronous_programs(pg.ports(), make_programs(), options);
+  EXPECT_EQ(sequential.stats.rounds, 30u);
+  EXPECT_EQ(sequential.stats.ports_served, 780u);
+  ASSERT_EQ(sequential.trace.size(), 30u);
+  EXPECT_EQ(sequential.trace.front().halted_nodes, 90u);
+  EXPECT_EQ(sequential.trace.back().halted_nodes, 100u);
+
+  for (const unsigned threads : policy_thread_counts()) {
+    options.exec.threads = threads;
+    const auto got =
+        run_synchronous_programs(pg.ports(), make_programs(), options);
+    EXPECT_TRUE(got == sequential) << "threads=" << threads;
+  }
+}
+
+TEST(Engine, PortsServedInvariantAcrossAlgorithms) {
+  // ports_served == sum over nodes of degree x (rounds the node ran),
+  // which for an algorithm where every node halts in the same round r is
+  // r x total ports.
+  const auto pg = port::with_canonical_ports(graph::cycle(6));
+  const auto result = run_synchronous(pg.ports(), EchoFactory(5));
+  EXPECT_EQ(result.stats.ports_served, 5u * 12u);
+}
+
+TEST(Engine, MoreThreadsThanNodes) {
+  const auto pg = port::with_canonical_ports(graph::path(3));
+  RunOptions options;
+  options.collect_messages = true;
+  options.collect_trace = true;
+  const auto expected = reference_run(pg.ports(), EchoFactory(3), options);
+  options.exec.threads = 16;
+  const auto got = run_synchronous(pg.ports(), EchoFactory(3), options);
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(Engine, HardwareThreadsOptionRuns) {
+  RunOptions options;
+  options.exec.threads = 0;  // one lane per hardware thread
+  const auto pg = port::with_canonical_ports(graph::cycle(12));
+  const auto got = run_synchronous(pg.ports(), EchoFactory(2), options);
+  EXPECT_EQ(got.stats.rounds, 2u);
+}
+
+TEST(Engine, EmptyGraphAndImmediateHalt) {
+  const PortGraph empty = PortGraphBuilder(std::vector<Port>{}).build();
+  for (const unsigned threads : policy_thread_counts()) {
+    RunOptions options;
+    options.exec.threads = threads;
+    const auto result = run_synchronous(empty, EchoFactory(3), options);
+    EXPECT_EQ(result.stats.rounds, 0u);
+    EXPECT_TRUE(result.outputs.empty());
+  }
+}
+
+TEST(Engine, RoundLimitThrowsUnderEveryPolicy) {
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  for (const unsigned threads : policy_thread_counts()) {
+    RunOptions options;
+    options.max_rounds = 10;
+    options.exec.threads = threads;
+    EXPECT_THROW(
+        (void)run_synchronous(pg.ports(), NeverHaltFactory(), options),
+        ExecutionError);
+  }
+}
+
+TEST(ExecutionPlan, MirrorsTheGraph) {
+  auto rng = test::make_rng(0xE63);
+  std::vector<Port> degrees{3, 0, 2, 5, 1, 4};
+  const auto g = port::random_port_graph(degrees, rng);
+  const ExecutionPlan plan(g);
+  ASSERT_EQ(plan.num_nodes(), g.num_nodes());
+  ASSERT_EQ(plan.total_ports(), g.num_ports());
+  std::size_t off = 0;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(plan.degree(v), g.degree(static_cast<port::NodeId>(v)));
+    EXPECT_EQ(plan.offset(v), off);
+    off += plan.degree(v);
+    for (Port i = 1; i <= plan.degree(v); ++i) {
+      const auto q = plan.offset(v) + i - 1;
+      const auto dst = g.partner(static_cast<port::NodeId>(v), i);
+      EXPECT_TRUE(plan.partner_ref(q) == dst);
+      EXPECT_EQ(plan.partner_flat(q), plan.offset(dst.node) + dst.port - 1);
+      // Involution: following the partner index twice returns home.
+      EXPECT_EQ(plan.partner_flat(plan.partner_flat(q)), q);
+    }
+  }
+}
+
+TEST(BatchRunner, DeterministicAcrossThreadCounts) {
+  auto rng = test::make_rng(0xBA7);
+  const auto h = test::figure2_graph_h();
+  const auto m = test::figure2_multigraph_m();
+  const auto cycle = port::with_canonical_ports(graph::cycle(9));
+  const auto regular = test::random_ported_regular(16, 4, rng);
+
+  const EchoFactory echo(4);
+  const algo::PortOneFactory port_one;
+  const algo::BoundedDegreeFactory bounded(4);
+
+  RunOptions traced;
+  traced.collect_trace = true;
+  traced.collect_messages = true;
+  const std::vector<BatchJob> jobs{
+      {&h.ports(), &echo, traced},
+      {&m, &echo, traced},
+      {&cycle.ports(), &port_one, {}},
+      {&regular.ports(), &bounded, traced},
+      {&regular.ports(), &port_one, {}},
+      {&h.ports(), &bounded, {}},
+  };
+
+  // The per-job oracle: what each job yields when run on its own.
+  std::vector<RunResult> expected;
+  for (const auto& job : jobs) {
+    expected.push_back(run_synchronous(*job.graph, *job.factory, job.options));
+  }
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const BatchRunner runner(threads);
+    const auto results = runner.run(jobs);
+    ASSERT_EQ(results.size(), jobs.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_TRUE(results[i] == expected[i])
+          << "threads=" << threads << " job=" << i;
+    }
+  }
+}
+
+TEST(BatchRunner, RejectsMalformedJobsUpFront) {
+  const EchoFactory echo(1);
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  const BatchRunner runner(2);
+  EXPECT_THROW((void)runner.run({{nullptr, &echo, {}}}), InvalidArgument);
+  EXPECT_THROW((void)runner.run({{&pg.ports(), nullptr, {}}}),
+               InvalidArgument);
+  EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(BatchRunner, RethrowsLowestIndexedFailure) {
+  const NeverHaltFactory never;
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  RunOptions three;
+  three.max_rounds = 3;
+  RunOptions five;
+  five.max_rounds = 5;
+  const std::vector<BatchJob> jobs{
+      {&pg.ports(), &never, three},
+      {&pg.ports(), &never, five},
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    const BatchRunner runner(threads);
+    try {
+      (void)runner.run(jobs);
+      FAIL() << "expected ExecutionError";
+    } catch (const ExecutionError& e) {
+      EXPECT_NE(std::string(e.what()).find("within 3 rounds"),
+                std::string::npos)
+          << "threads=" << threads << ": " << e.what();
+    }
+  }
+}
+
+TEST(AlgoBatch, MatchesRunAlgorithm) {
+  auto rng = test::make_rng(0xA1B);
+  std::vector<port::PortedGraph> graphs;
+  graphs.push_back(test::random_ported_regular(14, 4, rng));
+  graphs.push_back(test::random_ported_regular(12, 3, rng));
+  graphs.push_back(port::with_canonical_ports(graph::cycle(10)));
+
+  std::vector<algo::BatchItem> items;
+  items.push_back({&graphs[0], algo::Algorithm::kPortOne, 0});
+  items.push_back({&graphs[1], algo::Algorithm::kOddRegular, 0});  // resolves 3
+  items.push_back({&graphs[2], algo::Algorithm::kBoundedDegree, 0});
+
+  const auto solo = {
+      algo::run_algorithm(graphs[0], algo::Algorithm::kPortOne),
+      algo::run_algorithm(graphs[1], algo::Algorithm::kOddRegular),
+      algo::run_algorithm(graphs[2], algo::Algorithm::kBoundedDegree),
+  };
+
+  for (const unsigned threads : {1u, 3u}) {
+    const auto outcomes = algo::run_batch(items, threads);
+    ASSERT_EQ(outcomes.size(), items.size());
+    std::size_t i = 0;
+    for (const auto& expected : solo) {
+      EXPECT_EQ(outcomes[i].solution, expected.solution);
+      EXPECT_TRUE(outcomes[i].stats == expected.stats);
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eds::runtime

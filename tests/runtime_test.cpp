@@ -7,6 +7,7 @@
 #include "runtime/program.hpp"
 #include "runtime/runner.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"
 
 namespace eds::runtime {
 namespace {
@@ -14,42 +15,8 @@ namespace {
 using port::Port;
 using port::PortGraphBuilder;
 
-/// Echo program: sends its degree for `rounds` rounds, records what it saw,
-/// then halts outputting nothing.
-class EchoProgram final : public NodeProgram {
- public:
-  explicit EchoProgram(Round rounds) : rounds_(rounds) {}
-  void start(Port degree) override { degree_ = degree; }
-  void send(Round, std::span<Message> out) override {
-    for (auto& m : out) m = msg(1, static_cast<std::int32_t>(degree_));
-  }
-  void receive(Round round, std::span<const Message> in) override {
-    sum_ = 0;
-    for (const auto& m : in) sum_ += m.arg[0];
-    if (round >= rounds_) halted_ = true;
-  }
-  [[nodiscard]] bool halted() const override { return halted_; }
-  [[nodiscard]] std::vector<Port> output() const override { return {}; }
-
-  std::int64_t sum_ = 0;
-
- private:
-  Round rounds_;
-  Port degree_ = 0;
-  bool halted_ = false;
-};
-
-class EchoFactory final : public ProgramFactory {
- public:
-  explicit EchoFactory(Round rounds) : rounds_(rounds) {}
-  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
-    return std::make_unique<EchoProgram>(rounds_);
-  }
-  [[nodiscard]] std::string name() const override { return "echo"; }
-
- private:
-  Round rounds_;
-};
+using test::EchoFactory;
+using test::EchoProgram;
 
 /// Outputs every port, for consistency testing.
 class ClaimAllFactory final : public ProgramFactory {
@@ -145,6 +112,31 @@ TEST(Runner, RoundsCounted) {
   const auto result = run_synchronous(pg.ports(), EchoFactory(7));
   EXPECT_EQ(result.stats.rounds, 7u);
   EXPECT_EQ(result.stats.messages_sent, 7u * 10u);
+  // ports_served counts the ports of non-halted nodes only; every node here
+  // runs all 7 rounds, so it equals rounds x total ports.
+  EXPECT_EQ(result.stats.ports_served, 7u * 10u);
+}
+
+TEST(Runner, PortsServedExcludesHaltedNodes) {
+  // Nodes halt at different rounds: ports_served must charge each node only
+  // for the rounds it actually ran (degree 2, halt rounds 1/2/4/4).
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (const Round rounds : {1u, 2u, 4u, 4u}) {
+    programs.push_back(std::make_unique<EchoProgram>(rounds));
+  }
+  const auto result =
+      run_synchronous_programs(pg.ports(), std::move(programs));
+  EXPECT_EQ(result.stats.rounds, 4u);
+  EXPECT_EQ(result.stats.ports_served, 2u * (1u + 2u + 4u + 4u));
+}
+
+TEST(Runner, ZeroMaxRoundsRejectedUpFront) {
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  RunOptions options;
+  options.max_rounds = 0;
+  EXPECT_THROW((void)run_synchronous(pg.ports(), EchoFactory(1), options),
+               InvalidArgument);
 }
 
 TEST(Runner, TraceRecordsEveryRound) {
@@ -385,6 +377,23 @@ TEST(Transcript, OffByDefault) {
   const auto pg = port::with_canonical_ports(graph::path(2));
   const auto result = run_synchronous(pg.ports(), EchoFactory(2));
   EXPECT_TRUE(result.message_log.empty());
+  EXPECT_FALSE(result.messages_collected);
+}
+
+TEST(Transcript, SaysSoWhenCollectionWasOff) {
+  // An empty transcript must be distinguishable from "recording was off".
+  const auto pg = port::with_canonical_ports(graph::path(2));
+  const auto off = run_synchronous(pg.ports(), EchoFactory(2));
+  const auto off_text = format_transcript(off);
+  EXPECT_NE(off_text.find("without RunOptions::collect_messages"),
+            std::string::npos);
+  EXPECT_NE(off_text.find("rounds: 2"), std::string::npos);
+
+  RunOptions options;
+  options.collect_messages = true;
+  const auto on = run_synchronous(pg.ports(), EchoFactory(2), options);
+  EXPECT_EQ(format_transcript(on).find("without RunOptions::collect_messages"),
+            std::string::npos);
 }
 
 }  // namespace

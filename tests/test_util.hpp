@@ -16,9 +16,52 @@
 #include "graph/simple_graph.hpp"
 #include "port/port_graph.hpp"
 #include "port/ported_graph.hpp"
+#include "runtime/program.hpp"
 #include "util/rng.hpp"
 
 namespace eds::test {
+
+/// Echo program: sends its degree on every port for `rounds` rounds,
+/// records the sum it heard, then halts outputting nothing.  The standard
+/// controlled-duration program of the runtime and engine suites.
+class EchoProgram final : public runtime::NodeProgram {
+ public:
+  explicit EchoProgram(runtime::Round rounds) : rounds_(rounds) {}
+  void start(port::Port degree) override { degree_ = degree; }
+  void send(runtime::Round, std::span<runtime::Message> out) override {
+    for (auto& m : out) {
+      m = runtime::msg(1, static_cast<std::int32_t>(degree_));
+    }
+  }
+  void receive(runtime::Round round,
+               std::span<const runtime::Message> in) override {
+    sum_ = 0;
+    for (const auto& m : in) sum_ += m.arg[0];
+    if (round >= rounds_) halted_ = true;
+  }
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<port::Port> output() const override { return {}; }
+
+  std::int64_t sum_ = 0;
+
+ private:
+  runtime::Round rounds_;
+  port::Port degree_ = 0;
+  bool halted_ = false;
+};
+
+class EchoFactory final : public runtime::ProgramFactory {
+ public:
+  explicit EchoFactory(runtime::Round rounds) : rounds_(rounds) {}
+  [[nodiscard]] std::unique_ptr<runtime::NodeProgram> create()
+      const override {
+    return std::make_unique<EchoProgram>(rounds_);
+  }
+  [[nodiscard]] std::string name() const override { return "echo"; }
+
+ private:
+  runtime::Round rounds_;
+};
 
 /// Fixed default master seed for randomised tests.
 inline constexpr std::uint64_t kDefaultSeed = 0xED5D0517ULL;

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON into the BENCH_runtime.json schema.
+
+Reads a `--benchmark_format=json` report on stdin (or a file argument) and
+writes one record per benchmark:
+
+    {"name": ..., "n": ..., "rounds": ..., "ns_per_op": ...}
+
+plus a `context` block (host, date, threads) so the perf trajectory is
+comparable across CI runs.  `n`/`rounds` come from the benchmark's exported
+counters and are null for benchmarks that don't export them; `ns_per_op` is
+wall time per iteration in nanoseconds.
+
+Usage:
+    bench/bench_micro_runtime --benchmark_format=json | tools/bench_json.py \
+        > BENCH_runtime.json
+"""
+import json
+import sys
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def convert(report: dict) -> dict:
+    records = []
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        scale = UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+        records.append({
+            "name": bench["name"],
+            "n": int(bench["n"]) if "n" in bench else None,
+            "rounds": int(bench["rounds"]) if "rounds" in bench else None,
+            "ns_per_op": bench["real_time"] * scale,
+        })
+    context = report.get("context", {})
+    return {
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            # How the google-benchmark *library* was built, NOT this
+            # project's CMAKE_BUILD_TYPE (distro packages often say
+            # "debug" here even under a Release project build).
+            "benchmark_library_build_type": context.get("library_build_type"),
+        },
+        "benchmarks": records,
+    }
+
+
+def main() -> int:
+    source = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    with source:
+        report = json.load(source)
+    json.dump(convert(report), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
