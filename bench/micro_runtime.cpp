@@ -1,21 +1,45 @@
 // google-benchmark: simulator throughput — rounds/sec and full-algorithm
 // wall time across n and d, plus the engine's parallel-policy and batch
-// scaling points.
+// scaling points, plan-cache effectiveness and allocation pressure.
 //
 // Machine-readable output (the BENCH_runtime.json perf trajectory): every
-// benchmark exports `n` and `rounds` counters, so
+// benchmark exports `n` and `rounds` counters (plus cache/allocation
+// counters where relevant), so
 //   bench_micro_runtime --benchmark_format=json
 // piped through tools/bench_json.py yields records of
-// {name, n, rounds, ns_per_op}.  CI runs this once per push in Release and
-// uploads the JSON as an artifact.
+// {name, n, rounds, ns_per_op, counters}.  CI runs this once per push in
+// Release, uploads the JSON as an artifact, and posts the delta against the
+// committed snapshot via `tools/bench_json.py --compare`.
 #include <benchmark/benchmark.h>
 
 #include "algo/driver.hpp"
 #include "graph/generators.hpp"
 #include "port/ported_graph.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/plan_cache.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+/// Exports the pooled-transport counter deltas accumulated across the
+/// timed loop: healthy plateaus show reuses >> growths.
+class AllocPressure {
+ public:
+  AllocPressure() : before_(eds::runtime::engine_alloc_stats()) {}
+
+  void export_into(benchmark::State& state) const {
+    const auto after = eds::runtime::engine_alloc_stats();
+    state.counters["ws_reuses"] = static_cast<double>(
+        after.workspace_reuses - before_.workspace_reuses);
+    state.counters["ws_growths"] = static_cast<double>(
+        after.workspace_growths - before_.workspace_growths);
+    state.counters["ws_bytes"] =
+        static_cast<double>(after.workspace_bytes);
+  }
+
+ private:
+  eds::runtime::EngineAllocStats before_;
+};
 
 void BM_PortOne(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -108,15 +132,17 @@ void BM_Engine100k(benchmark::State& state) {
   eds::runtime::ExecOptions exec;
   exec.threads = threads;
   std::uint64_t rounds = 0;
+  const AllocPressure alloc;
   for (auto _ : state) {
     auto outcome = eds::algo::run_algorithm(
         pg, eds::algo::Algorithm::kBoundedDegree, 4, exec);
     rounds = outcome.stats.rounds;
     benchmark::DoNotOptimize(outcome.solution.size());
   }
+  alloc.export_into(state);
   state.counters["n"] = static_cast<double>(g.num_nodes());
   state.counters["rounds"] = static_cast<double>(rounds);
-  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["lanes"] = static_cast<double>(threads);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.num_nodes()) *
                           static_cast<std::int64_t>(rounds));
@@ -139,16 +165,50 @@ void BM_BatchSweep(benchmark::State& state) {
     items.push_back({&pg, eds::algo::Algorithm::kBoundedDegree, 4});
   }
   std::uint64_t rounds = 0;
+  const AllocPressure alloc;
   for (auto _ : state) {
     auto outcomes = eds::algo::run_batch(items, threads);
     rounds = outcomes.back().stats.rounds;
     benchmark::DoNotOptimize(outcomes.size());
   }
+  alloc.export_into(state);
   state.counters["n"] = 512.0 * 32.0;
   state.counters["rounds"] = static_cast<double>(rounds);
-  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["lanes"] = static_cast<double>(threads);
 }
 BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+
+void BM_PlanCacheSweep(benchmark::State& state) {
+  // The --repeat workload: `jobs` batch runs on ONE 4-regular instance
+  // (n = 1024).  With the shared cache the plan is compiled once per
+  // process lifetime and every subsequent job is a hit — plan_misses stays
+  // at 1 however many iterations the timer takes.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  eds::Rng rng(7);
+  const auto pg = eds::port::with_random_ports(
+      eds::graph::random_regular(1024, 4, rng), rng);
+  std::vector<eds::algo::BatchItem> items(
+      jobs, {&pg, eds::algo::Algorithm::kBoundedDegree, 4});
+  eds::runtime::PlanCache cache;
+  std::uint64_t rounds = 0;
+  const AllocPressure alloc;
+  for (auto _ : state) {
+    auto outcomes = eds::algo::run_batch(items, 1, &cache);
+    rounds = outcomes.back().stats.rounds;
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  alloc.export_into(state);
+  const auto stats = cache.stats();
+  state.counters["n"] = 1024.0;
+  state.counters["rounds"] = static_cast<double>(rounds);
+  // plan_misses is timer-independent (the one compile, however many
+  // iterations ran); hits are normalized per iteration (~jobs) so the
+  // exported counters are comparable across machines and --benchmark_min_time.
+  state.counters["plan_hits"] = benchmark::Counter(
+      static_cast<double>(stats.hits), benchmark::Counter::kAvgIterations);
+  state.counters["plan_misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_PlanCacheSweep)->Arg(64)->Arg(256);
 
 }  // namespace
 

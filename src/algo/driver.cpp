@@ -6,6 +6,7 @@
 #include "algo/odd_regular.hpp"
 #include "algo/port_one.hpp"
 #include "runtime/batch.hpp"
+#include "runtime/plan_cache.hpp"
 #include "util/error.hpp"
 
 namespace eds::algo {
@@ -86,6 +87,9 @@ EdsOutcome run_algorithm(const port::PortedGraph& pg, Algorithm algorithm,
   const auto factory = make_factory(algorithm, param);
   runtime::RunOptions options;
   options.exec = exec;
+  if (options.exec.plan_cache == nullptr) {
+    options.exec.plan_cache = &runtime::PlanCache::global();
+  }
   const auto result = runtime::run_synchronous(pg.ports(), *factory, options);
   EdsOutcome outcome;
   outcome.solution = runtime::validated_edge_set(pg, result);
@@ -93,25 +97,44 @@ EdsOutcome run_algorithm(const port::PortedGraph& pg, Algorithm algorithm,
   return outcome;
 }
 
-std::vector<EdsOutcome> run_batch(const std::vector<BatchItem>& items,
-                                  unsigned threads) {
-  // Factories are built up front (and kept alive for the whole batch); the
-  // runs then fan out across the pool and come back in item order.
+namespace {
+
+/// The shared front half of run_batch / run_batch_streaming: factories are
+/// built up front (and kept alive for the whole batch) and every job is
+/// pointed at the plan cache.
+struct PreparedBatch {
   std::vector<std::unique_ptr<runtime::ProgramFactory>> factories;
   std::vector<runtime::BatchJob> jobs;
-  factories.reserve(items.size());
-  jobs.reserve(items.size());
+};
+
+PreparedBatch prepare_batch(const std::vector<BatchItem>& items,
+                            runtime::PlanCache* plan_cache) {
+  if (plan_cache == nullptr) plan_cache = &runtime::PlanCache::global();
+  PreparedBatch batch;
+  batch.factories.reserve(items.size());
+  batch.jobs.reserve(items.size());
   for (const auto& item : items) {
     if (item.graph == nullptr) {
       throw InvalidArgument("run_batch: item requires a graph");
     }
     const auto param = resolve_param(*item.graph, item.algorithm, item.param);
-    factories.push_back(make_factory(item.algorithm, param));
-    jobs.push_back({&item.graph->ports(), factories.back().get(), {}});
+    batch.factories.push_back(make_factory(item.algorithm, param));
+    runtime::RunOptions options;
+    options.exec.plan_cache = plan_cache;
+    batch.jobs.push_back(
+        {&item.graph->ports(), batch.factories.back().get(), options});
   }
+  return batch;
+}
 
+}  // namespace
+
+std::vector<EdsOutcome> run_batch(const std::vector<BatchItem>& items,
+                                  unsigned threads,
+                                  runtime::PlanCache* plan_cache) {
+  const auto batch = prepare_batch(items, plan_cache);
   const runtime::BatchRunner runner(threads);
-  const auto results = runner.run(jobs);
+  const auto results = runner.run(batch.jobs);
 
   std::vector<EdsOutcome> outcomes(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -120,6 +143,22 @@ std::vector<EdsOutcome> run_batch(const std::vector<BatchItem>& items,
     outcomes[i].stats = results[i].stats;
   }
   return outcomes;
+}
+
+void run_batch_streaming(
+    const std::vector<BatchItem>& items, unsigned threads,
+    const std::function<void(std::size_t index, EdsOutcome&& outcome)>&
+        on_outcome,
+    runtime::PlanCache* plan_cache) {
+  const auto batch = prepare_batch(items, plan_cache);
+  const runtime::BatchRunner runner(threads);
+  runner.run_streaming(
+      batch.jobs, [&](std::size_t i, runtime::RunResult&& result) {
+        EdsOutcome outcome;
+        outcome.solution = runtime::validated_edge_set(*items[i].graph, result);
+        outcome.stats = result.stats;
+        on_outcome(i, std::move(outcome));
+      });
 }
 
 Recommendation recommended_for(const graph::SimpleGraph& g) {

@@ -6,6 +6,7 @@
 // finer-grained use.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,7 +45,9 @@ struct EdsOutcome {
 /// `param` defaults (0) resolve from the graph: d-regular degree for
 /// kOddRegular, max degree for kBoundedDegree / kDoubleCover.  `exec`
 /// selects the engine policy (ExecOptions{.threads = N}); the solution is
-/// identical for every policy.
+/// identical for every policy.  When `exec.plan_cache` is null the
+/// process-wide `runtime::PlanCache::global()` is used, so repeated runs
+/// on one graph compile its ExecutionPlan once.
 [[nodiscard]] EdsOutcome run_algorithm(const port::PortedGraph& pg,
                                        Algorithm algorithm,
                                        port::Port param = 0,
@@ -61,8 +64,22 @@ struct BatchItem {
 /// Runs every item concurrently over a BatchRunner pool with `threads`
 /// workers (0 = one per hardware thread) and returns the validated outcomes
 /// in item order — deterministically identical for every thread count.
+/// Plans are shared through `plan_cache` (null = PlanCache::global()), so
+/// repeated items on one graph compile a single ExecutionPlan.
 [[nodiscard]] std::vector<EdsOutcome> run_batch(
-    const std::vector<BatchItem>& items, unsigned threads = 0);
+    const std::vector<BatchItem>& items, unsigned threads = 0,
+    runtime::PlanCache* plan_cache = nullptr);
+
+/// Streaming run_batch: `on_outcome` receives each item's validated
+/// outcome as soon as its whole prefix has completed (serialized, strictly
+/// increasing item order — see BatchRunner::run_streaming), so long sweeps
+/// can emit output incrementally.  Blocks until the batch drains; rethrows
+/// the lowest-indexed failure after withholding outcomes from it onward.
+void run_batch_streaming(
+    const std::vector<BatchItem>& items, unsigned threads,
+    const std::function<void(std::size_t index, EdsOutcome&& outcome)>&
+        on_outcome,
+    runtime::PlanCache* plan_cache = nullptr);
 
 /// The Table 1 row selector: the algorithm (and parameter) the paper
 /// prescribes for `g` — kAllEdges for max degree <= 1, kPortOne for

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <cmath>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -19,6 +20,7 @@
 #include "port/views.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/outputs.hpp"
+#include "runtime/plan_cache.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -89,13 +91,22 @@ void usage(std::ostream& out) {
          "      --threads N runs the engine's parallel policy (same result)\n"
          "  sweep <family> [--min N] [--max N] [--step S] [--d D]\n"
          "        [--algorithm A] [--param P] [--seed S] [--threads N]\n"
-         "      families: path | cycle | regular | portgraph\n"
+         "        [--repeat R] [--ndjson]\n"
+         "      families: path | cycle | regular | grid | torus |\n"
+         "                caterpillar | powerlaw | portgraph\n"
          "      fans one instance per size across the batch engine's thread\n"
          "      pool (--threads N workers, 0 = all hardware threads) and\n"
          "      prints one row per instance, in order, independent of N;\n"
          "      sizes run --min..--max doubling, or by +S with --step S;\n"
          "      regular/portgraph use degree --d (portgraph instances are\n"
-         "      random port-numbered multigraphs: loops, parallel edges)\n"
+         "      random port-numbered multigraphs: loops, parallel edges);\n"
+         "      grid/torus round n to a square side, caterpillar grows a\n"
+         "      2-leg spine, powerlaw samples P(deg) ~ deg^-2.5;\n"
+         "      --repeat R runs each instance R times (the shared plan is\n"
+         "      compiled once per instance and reused via the plan cache);\n"
+         "      --ndjson streams one JSON object per job as results arrive\n"
+         "      (in job order, no full-batch barrier) plus a summary line\n"
+         "      with the plan-cache counters\n"
          "  lower-bound <d>\n"
          "      emits the Theorem 1 (even d) / Theorem 2 (odd d) adversarial\n"
          "      instance in port-graph format, with its optimum\n"
@@ -333,7 +344,8 @@ int cmd_run_portgraph(const Args& args, std::istream& in, std::ostream& out,
 int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const auto& pos = args.positional();
   if (pos.size() < 2) {
-    err << "sweep: missing family (path|cycle|regular|portgraph)\n";
+    err << "sweep: missing family (path|cycle|regular|grid|torus|"
+           "caterpillar|powerlaw|portgraph)\n";
     return 2;
   }
   const auto& family = pos[1];
@@ -342,8 +354,14 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const auto step = static_cast<std::size_t>(args.get_u64("step", 0));
   const auto d = static_cast<std::size_t>(args.get_u64("d", 3));
   const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  const auto repeat = static_cast<std::size_t>(args.get_u64("repeat", 1));
+  const bool ndjson = args.has("ndjson");
   if (min_n == 0 || max_n < min_n) {
     err << "sweep: need 0 < --min <= --max\n";
+    return 2;
+  }
+  if (repeat == 0) {
+    err << "sweep: need --repeat >= 1\n";
     return 2;
   }
 
@@ -368,6 +386,31 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const auto param = static_cast<port::Port>(args.get_u64("param", 0));
   Rng rng(args.get_u64("seed", 1));
 
+  // Every job in the sweep shares one plan cache, so --repeat compiles one
+  // ExecutionPlan per instance regardless of R; the summary counters below
+  // make the reuse visible (and assertable from tests).
+  // `all_feasible` is only emitted when the family actually verifies edge
+  // domination (the simple-graph branch); the portgraph branch checks
+  // output well-formedness, not feasibility, so it omits the field rather
+  // than hardcoding a claim nobody computed.
+  runtime::PlanCache plan_cache;
+  const auto summarize = [&](std::size_t jobs,
+                             std::optional<bool> all_feasible) {
+    const auto stats = plan_cache.stats();
+    if (ndjson) {
+      out << "{\"summary\":{\"jobs\":" << jobs
+          << ",\"plans_compiled\":" << stats.misses
+          << ",\"plan_hits\":" << stats.hits;
+      if (all_feasible.has_value()) {
+        out << ",\"all_feasible\":" << (*all_feasible ? "true" : "false");
+      }
+      out << "}}\n";
+    } else {
+      out << "plan-cache: compiled=" << stats.misses
+          << " hits=" << stats.hits << '\n';
+    }
+  };
+
   try {
     if (family == "portgraph") {
       // Random port-numbered multigraphs (loops and parallel edges): the
@@ -384,28 +427,48 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
                                 : static_cast<port::Port>(std::max<std::size_t>(
                                       d, 1)));
       std::vector<runtime::BatchJob> jobs;
-      jobs.reserve(instances.size());
+      jobs.reserve(instances.size() * repeat);
       for (const auto& g : instances) {
-        jobs.push_back({&g, factory.get(), {}});
+        runtime::RunOptions options;
+        options.exec.plan_cache = &plan_cache;
+        for (std::size_t r = 0; r < repeat; ++r) {
+          jobs.push_back({&g, factory.get(), options});
+        }
       }
       const runtime::BatchRunner runner(threads);
-      const auto results = runner.run(jobs);
 
-      out << "sweep: family=portgraph d=" << d
-          << " algorithm=" << algo::algorithm_name(algorithm)
-          << " jobs=" << jobs.size() << '\n';
+      if (!ndjson) {
+        out << "sweep: family=portgraph d=" << d
+            << " algorithm=" << algo::algorithm_name(algorithm)
+            << " jobs=" << jobs.size() << '\n';
+      }
       TextTable table("");
       table.header({"n", "ports", "rounds", "messages", "selected"});
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto selected =
-            runtime::validated_selection_size(instances[i], results[i]);
-        table.row({std::to_string(sizes[i]),
-                   std::to_string(instances[i].num_ports()),
-                   std::to_string(results[i].stats.rounds),
-                   std::to_string(results[i].stats.messages_sent),
-                   std::to_string(selected)});
-      }
-      table.print(out);
+      // Streaming delivery: rows arrive in job order as their prefix
+      // completes; NDJSON mode prints (and flushes) each immediately.
+      runner.run_streaming(
+          jobs, [&](std::size_t i, runtime::RunResult&& result) {
+            const auto& g = instances[i / repeat];
+            const auto selected =
+                runtime::validated_selection_size(g, result);
+            if (ndjson) {
+              out << "{\"index\":" << i << ",\"family\":\"portgraph\""
+                  << ",\"n\":" << sizes[i / repeat]
+                  << ",\"ports\":" << g.num_ports()
+                  << ",\"rounds\":" << result.stats.rounds
+                  << ",\"messages\":" << result.stats.messages_sent
+                  << ",\"selected\":" << selected << "}\n";
+              out.flush();
+            } else {
+              table.row({std::to_string(sizes[i / repeat]),
+                         std::to_string(g.num_ports()),
+                         std::to_string(result.stats.rounds),
+                         std::to_string(result.stats.messages_sent),
+                         std::to_string(selected)});
+            }
+          });
+      if (!ndjson) table.print(out);
+      summarize(jobs.size(), std::nullopt);
       return 0;
     }
 
@@ -421,6 +484,23 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
         g = graph::cycle(n);
       } else if (family == "regular") {
         g = graph::random_regular(n, d, rng);
+      } else if (family == "grid") {
+        // Round the size to a square side; n stays the *requested* size.
+        const auto side = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::lround(
+                   std::sqrt(static_cast<double>(n)))));
+        g = graph::grid(side, side);
+      } else if (family == "torus") {
+        const auto side = std::max<std::size_t>(
+            3, static_cast<std::size_t>(std::lround(
+                   std::sqrt(static_cast<double>(n)))));
+        g = graph::torus(side, side);
+      } else if (family == "caterpillar") {
+        // A 2-leg caterpillar: spine of n/3 nodes, ~n nodes total — the
+        // worklist's favourite long-tail shape (leaves halt early).
+        g = graph::caterpillar(std::max<std::size_t>(1, n / 3), 2);
+      } else if (family == "powerlaw") {
+        g = graph::random_power_law(n, 2.5, rng);
       } else {
         err << "sweep: unknown family '" << family << "'\n";
         return 2;
@@ -429,7 +509,7 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     }
 
     std::vector<algo::BatchItem> items;
-    items.reserve(instances.size());
+    items.reserve(instances.size() * repeat);
     for (const auto& pg : instances) {
       algo::BatchItem item;
       item.graph = &pg;
@@ -441,29 +521,48 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
         item.algorithm = rec.algorithm;
         item.param = rec.param;
       }
-      items.push_back(item);
+      for (std::size_t r = 0; r < repeat; ++r) items.push_back(item);
     }
-    const auto outcomes = algo::run_batch(items, threads);
 
-    out << "sweep: family=" << family << " algorithm=" << algo_name
-        << " jobs=" << items.size() << '\n';
+    if (!ndjson) {
+      out << "sweep: family=" << family << " algorithm=" << algo_name
+          << " jobs=" << items.size() << '\n';
+    }
     TextTable table("");
     table.header({"n", "edges", "algorithm", "rounds", "messages", "|D|",
                   "feasible"});
     bool all_feasible = true;
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      const auto& g = instances[i].graph();
-      const bool feasible =
-          analysis::is_edge_dominating_set(g, outcomes[i].solution);
-      all_feasible = all_feasible && feasible;
-      table.row({std::to_string(sizes[i]), std::to_string(g.num_edges()),
-                 algo::algorithm_name(items[i].algorithm),
-                 std::to_string(outcomes[i].stats.rounds),
-                 std::to_string(outcomes[i].stats.messages_sent),
-                 std::to_string(outcomes[i].solution.size()),
-                 feasible ? "yes" : "NO"});
-    }
-    table.print(out);
+    algo::run_batch_streaming(
+        items, threads,
+        [&](std::size_t i, algo::EdsOutcome&& outcome) {
+          const auto& g = items[i].graph->graph();
+          const bool feasible =
+              analysis::is_edge_dominating_set(g, outcome.solution);
+          all_feasible = all_feasible && feasible;
+          if (ndjson) {
+            out << "{\"index\":" << i << ",\"family\":\"" << family << '"'
+                << ",\"n\":" << sizes[i / repeat]
+                << ",\"nodes\":" << g.num_nodes()
+                << ",\"edges\":" << g.num_edges() << ",\"algorithm\":\""
+                << algo::algorithm_name(items[i].algorithm) << '"'
+                << ",\"rounds\":" << outcome.stats.rounds
+                << ",\"messages\":" << outcome.stats.messages_sent
+                << ",\"solution\":" << outcome.solution.size()
+                << ",\"feasible\":" << (feasible ? "true" : "false") << "}\n";
+            out.flush();
+          } else {
+            table.row({std::to_string(sizes[i / repeat]),
+                       std::to_string(g.num_edges()),
+                       algo::algorithm_name(items[i].algorithm),
+                       std::to_string(outcome.stats.rounds),
+                       std::to_string(outcome.stats.messages_sent),
+                       std::to_string(outcome.solution.size()),
+                       feasible ? "yes" : "NO"});
+          }
+        },
+        &plan_cache);
+    if (!ndjson) table.print(out);
+    summarize(items.size(), all_feasible);
     return all_feasible ? 0 : 1;
   } catch (const Error& e) {
     err << "sweep: " << e.what() << '\n';

@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <utility>
 
@@ -213,6 +214,18 @@ SimpleGraph barbell(std::size_t m, std::size_t bridge) {
   return b.build();
 }
 
+SimpleGraph caterpillar(std::size_t spine, std::size_t legs_per_node) {
+  if (spine < 1) throw InvalidArgument("caterpillar: need spine >= 1");
+  GraphBuilder b(spine * (1 + legs_per_node));
+  for (std::size_t i = 0; i + 1 < spine; ++i) b.add_edge(nid(i), nid(i + 1));
+  for (std::size_t i = 0; i < spine; ++i) {
+    for (std::size_t leg = 0; leg < legs_per_node; ++leg) {
+      b.add_edge(nid(i), nid(spine + i * legs_per_node + leg));
+    }
+  }
+  return b.build();
+}
+
 SimpleGraph random_tree(std::size_t n, Rng& rng) {
   if (n < 1) throw InvalidArgument("random_tree: need n >= 1");
   GraphBuilder b(n);
@@ -325,6 +338,82 @@ SimpleGraph random_bounded_degree(std::size_t n, std::size_t max_degree,
     edges.push_back({u, v});
     ++degree[u];
     ++degree[v];
+  }
+  return SimpleGraph::from_edges(n, std::move(edges));
+}
+
+SimpleGraph random_power_law(std::size_t n, double exponent, Rng& rng,
+                             std::size_t max_degree) {
+  if (n < 2) throw InvalidArgument("random_power_law: need n >= 2");
+  if (!(exponent > 0.0)) {
+    throw InvalidArgument("random_power_law: need exponent > 0");
+  }
+  if (max_degree == 0) {
+    max_degree = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+  }
+  max_degree = std::min(max_degree, n - 1);
+
+  // Target degrees by inverse-CDF sampling over the truncated power law
+  // P(d) ∝ d^-exponent, d in [1, max_degree].
+  std::vector<double> cdf(max_degree);
+  double total = 0.0;
+  for (std::size_t d = 1; d <= max_degree; ++d) {
+    total += std::pow(static_cast<double>(d), -exponent);
+    cdf[d - 1] = total;
+  }
+  std::vector<std::size_t> target(n);
+  std::size_t stub_count = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double u = rng.uniform01() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    target[v] = static_cast<std::size_t>(it - cdf.begin()) + 1;
+    stub_count += target[v];
+  }
+  // Even-ize the stub count so the configuration model can pair everything,
+  // without breaching the cap: bump a node still below max_degree, or (all
+  // nodes at the cap already) drop a stub from a node with more than one.
+  if (stub_count % 2 != 0) {
+    const auto start = static_cast<std::size_t>(rng.below(n));
+    bool bumped = false;
+    for (std::size_t k = 0; k < n && !bumped; ++k) {
+      const std::size_t v = (start + k) % n;
+      if (target[v] < max_degree) {
+        ++target[v];
+        ++stub_count;
+        bumped = true;
+      }
+    }
+    if (!bumped) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t v = (start + k) % n;
+        if (target[v] > 1) {
+          --target[v];
+          --stub_count;
+          break;
+        }
+      }
+    }
+  }
+
+  // Configuration model: shuffle the stub multiset, pair consecutively, and
+  // drop pairs that would form a loop or a parallel edge (realised degrees
+  // may therefore undershoot their targets).
+  std::vector<NodeId> stubs;
+  stubs.reserve(stub_count);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < target[v]; ++k) stubs.push_back(nid(v));
+  }
+  rng.shuffle(stubs);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    auto u = stubs[i];
+    auto v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.emplace(u, v).second) continue;
+    edges.push_back({u, v});
   }
   return SimpleGraph::from_edges(n, std::move(edges));
 }

@@ -71,6 +71,14 @@ namespace eds::graph {
 /// Barbell: two K_m cliques joined by a path of `bridge` edges; m >= 3.
 [[nodiscard]] SimpleGraph barbell(std::size_t m, std::size_t bridge);
 
+/// Caterpillar: a path of `spine` nodes with `legs_per_node` leaves hanging
+/// off every spine node; spine >= 1.  Nodes 0..spine-1 form the spine, the
+/// leaves follow in spine order.  Total nodes: spine * (1 + legs_per_node).
+/// A long-tail workload for the engine worklist: leaves halt in O(1) rounds
+/// while the spine keeps running.
+[[nodiscard]] SimpleGraph caterpillar(std::size_t spine,
+                                      std::size_t legs_per_node);
+
 /// Uniform random labelled tree on n nodes (Prufer-style attachment).
 [[nodiscard]] SimpleGraph random_tree(std::size_t n, Rng& rng);
 
@@ -87,6 +95,16 @@ namespace eds::graph {
                                                 std::size_t max_degree,
                                                 std::size_t target_edges,
                                                 Rng& rng);
+
+/// Random graph with a power-law degree *target* sequence: node degrees are
+/// drawn with P(d) ∝ d^-exponent over [1, max_degree] (max_degree = 0 means
+/// ⌈√n⌉), then wired by the configuration model with loops and parallel
+/// edges dropped — so realised degrees can fall below their targets, as
+/// usual for simple-graph power-law samplers.  Requires n >= 2 and
+/// exponent > 0.  Deterministic for a fixed rng stream.
+[[nodiscard]] SimpleGraph random_power_law(std::size_t n, double exponent,
+                                           Rng& rng,
+                                           std::size_t max_degree = 0);
 
 /// Random bipartite d-regular graph on two sides of `side` nodes each,
 /// built from d random permutations (parallel edges rejected, retried).

@@ -72,6 +72,20 @@ class PortGraph {
     return partner(r.node, r.port);
   }
 
+  /// The degree sequence as a flat array (d(v) = degree_sequence()[v]).
+  /// Hot-path view for the engine layer: plan compilation, structural
+  /// hashing and cache verification scan these contiguously instead of
+  /// paying a bounds-checked lookup per port.
+  [[nodiscard]] const std::vector<Port>& degree_sequence() const noexcept {
+    return degrees_;
+  }
+
+  /// The involution as a flat array indexed by flat port index (ports of
+  /// node v start at offset Σ_{u<v} d(u)); companion of degree_sequence().
+  [[nodiscard]] const std::vector<PortRef>& partner_table() const noexcept {
+    return partner_;
+  }
+
   /// All structural edges: one entry per unordered port pair {(v,i),(u,j)}
   /// with p(v,i) = (u,j), plus one entry per fixed point (directed loop).
   [[nodiscard]] std::vector<PortEdge> port_edges() const;

@@ -1,10 +1,98 @@
 #include "runtime/batch.hpp"
 
+#include <condition_variable>
 #include <exception>
+#include <mutex>
+#include <thread>
 
 #include "util/error.hpp"
 
 namespace eds::runtime {
+
+namespace {
+
+void validate_jobs(const std::vector<BatchJob>& jobs) {
+  for (const auto& job : jobs) {
+    if (job.graph == nullptr || job.factory == nullptr) {
+      throw InvalidArgument("BatchRunner: job requires a graph and a factory");
+    }
+  }
+}
+
+/// The in-order reorder buffer shared by every consumption style: workers
+/// deposit results out of order, the delivery cursor only ever advances
+/// over completed slots in index order.
+struct ReorderBuffer {
+  explicit ReorderBuffer(std::size_t jobs)
+      : results(jobs), errors(jobs), done(jobs, 0) {}
+
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::vector<RunResult> results;
+  std::vector<std::exception_ptr> errors;
+  std::vector<char> done;
+  std::size_t cursor = 0;  // first index not yet delivered
+  bool stopped = false;    // delivery halted (job failure or callback throw)
+  bool delivering = false;  // one worker is draining the ready prefix
+  std::exception_ptr delivery_error;  // first exception from a callback
+
+  /// Runs one job and deposits its outcome; never throws.
+  void execute(const BatchJob& job, std::size_t i) noexcept {
+    try {
+      results[i] = run_synchronous(*job.graph, *job.factory, job.options);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  }
+
+  /// After job `i` lands: deliver the ready prefix through `on_result`.
+  /// The `delivering` flag makes exactly one worker the deliverer at a
+  /// time, so callbacks never interleave and observe strictly increasing
+  /// indices — but each callback runs *outside* the mutex, so a slow
+  /// consumer never blocks the other workers from depositing results and
+  /// pulling their next jobs.
+  void deposit_and_flush(std::size_t i,
+                         const BatchRunner::ResultCallback& on_result) {
+    std::unique_lock<std::mutex> lock(mutex);
+    done[i] = 1;
+    if (delivering) return;  // the current deliverer will pick this up
+    delivering = true;
+    while (!stopped && cursor < done.size() && done[cursor] != 0) {
+      if (errors[cursor]) {
+        stopped = true;  // the prefix rule: nothing at or past a failure
+        break;
+      }
+      const std::size_t idx = cursor++;
+      RunResult result = std::move(results[idx]);
+      lock.unlock();
+      std::exception_ptr thrown;
+      try {
+        on_result(idx, std::move(result));
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      lock.lock();
+      if (thrown) {
+        delivery_error = thrown;
+        stopped = true;
+        break;
+      }
+    }
+    delivering = false;
+  }
+
+  /// The post-drain rethrow: the callback's own failure wins (it is the
+  /// earliest in delivery order by construction), else the lowest-indexed
+  /// job failure.
+  void rethrow_failures() const {
+    if (delivery_error) std::rethrow_exception(delivery_error);
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+};
+
+}  // namespace
 
 BatchRunner::BatchRunner(unsigned threads) : pool_(threads) {}
 
@@ -12,28 +100,79 @@ BatchRunner::~BatchRunner() = default;
 
 std::vector<RunResult> BatchRunner::run(
     const std::vector<BatchJob>& jobs) const {
-  for (const auto& job : jobs) {
-    if (job.graph == nullptr || job.factory == nullptr) {
-      throw InvalidArgument("BatchRunner: job requires a graph and a factory");
-    }
-  }
-
   std::vector<RunResult> results(jobs.size());
-  std::vector<std::exception_ptr> errors(jobs.size());
-
-  pool_.run(jobs.size(), [&](std::size_t i) {
-    try {
-      const BatchJob& job = jobs[i];
-      results[i] = run_synchronous(*job.graph, *job.factory, job.options);
-    } catch (...) {
-      errors[i] = std::current_exception();
-    }
+  run_streaming(jobs, [&results](std::size_t i, RunResult&& result) {
+    results[i] = std::move(result);
   });
-
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
   return results;
+}
+
+void BatchRunner::run_streaming(const std::vector<BatchJob>& jobs,
+                                const ResultCallback& on_result) const {
+  validate_jobs(jobs);
+  ReorderBuffer buffer(jobs.size());
+  pool_.run(jobs.size(), [&](std::size_t i) {
+    buffer.execute(jobs[i], i);
+    buffer.deposit_and_flush(i, on_result);
+  });
+  buffer.rethrow_failures();
+}
+
+struct BatchStream::Impl {
+  Impl(std::vector<BatchJob> jobs_in, ThreadPool* pool)
+      : jobs(std::move(jobs_in)), buffer(jobs.size()) {
+    driver = std::thread([this, pool] {
+      pool->run(jobs.size(), [this](std::size_t i) {
+        buffer.execute(jobs[i], i);
+        {
+          const std::lock_guard<std::mutex> lock(buffer.mutex);
+          buffer.done[i] = 1;
+        }
+        buffer.ready.notify_all();
+      });
+    });
+  }
+
+  ~Impl() {
+    if (driver.joinable()) driver.join();
+  }
+
+  std::vector<BatchJob> jobs;
+  ReorderBuffer buffer;
+  std::thread driver;
+};
+
+BatchStream::BatchStream(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+BatchStream::~BatchStream() = default;
+
+std::optional<BatchStream::Item> BatchStream::next() {
+  ReorderBuffer& buffer = impl_->buffer;
+  std::unique_lock<std::mutex> lock(buffer.mutex);
+  if (buffer.stopped || buffer.cursor >= buffer.done.size()) {
+    return std::nullopt;
+  }
+  const std::size_t i = buffer.cursor;
+  buffer.ready.wait(lock, [&buffer, i] { return buffer.done[i] != 0; });
+  if (buffer.errors[i]) {
+    // The prefix rule: a failure ends the stream; drain the batch before
+    // rethrowing so the pool is quiescent when the caller unwinds.
+    buffer.stopped = true;
+    const auto error = buffer.errors[i];
+    lock.unlock();
+    if (impl_->driver.joinable()) impl_->driver.join();
+    std::rethrow_exception(error);
+  }
+  ++buffer.cursor;
+  Item item{i, std::move(buffer.results[i])};
+  return item;
+}
+
+std::unique_ptr<BatchStream> BatchRunner::stream(
+    std::vector<BatchJob> jobs) const {
+  validate_jobs(jobs);
+  return std::unique_ptr<BatchStream>(new BatchStream(
+      std::make_unique<BatchStream::Impl>(std::move(jobs), &pool_)));
 }
 
 }  // namespace eds::runtime

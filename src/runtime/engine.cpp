@@ -7,26 +7,28 @@
 
 namespace eds::runtime {
 
-ExecutionPlan::ExecutionPlan(const port::PortGraph& g) {
-  const std::size_t n = g.num_nodes();
-  degrees_.resize(n);
+ExecutionPlan::ExecutionPlan(const port::PortGraph& g)
+    : degrees_(g.degree_sequence()), partner_ref_(g.partner_table()) {
+  constructed_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = degrees_.size();
   offsets_.resize(n);
   std::size_t total = 0;
   for (std::size_t v = 0; v < n; ++v) {
-    degrees_[v] = g.degree(static_cast<port::NodeId>(v));
     offsets_[v] = total;
     total += degrees_[v];
   }
   partner_flat_.resize(total);
-  partner_ref_.resize(total);
-  for (std::size_t v = 0; v < n; ++v) {
-    for (Port i = 1; i <= degrees_[v]; ++i) {
-      const auto q = offsets_[v] + i - 1;
-      const auto dst = g.partner(static_cast<port::NodeId>(v), i);
-      partner_ref_[q] = dst;
-      partner_flat_[q] = offsets_[dst.node] + dst.port - 1;
-    }
+  for (std::size_t q = 0; q < total; ++q) {
+    const auto dst = partner_ref_[q];
+    partner_flat_[q] = offsets_[dst.node] + dst.port - 1;
   }
+}
+
+bool ExecutionPlan::matches(const port::PortGraph& g) const {
+  // Two contiguous scans: the flat degree sequence and the flat involution
+  // table are exactly what the constructor consumed, in the same order.
+  return degrees_ == g.degree_sequence() &&
+         partner_ref_ == g.partner_table();
 }
 
 std::unique_ptr<ExecutionPolicy> make_policy(const ExecOptions& exec) {
@@ -65,7 +67,119 @@ void rethrow_first(const std::vector<ShardScratch>& scratch,
   }
 }
 
+std::atomic<std::uint64_t> g_ws_reuses{0};
+std::atomic<std::uint64_t> g_ws_growths{0};
+std::atomic<std::uint64_t> g_ws_bytes{0};
+
+/// The pooled message transport: every buffer the round loop writes lives
+/// here and is *assigned* (size + contents reset, capacity retained) at the
+/// start of each run instead of being reallocated.  One workspace exists
+/// per thread, so sequential runs, BatchRunner jobs (one job per pool lane)
+/// and BatchStream drivers each reuse their lane's arena run after run.
+struct EngineWorkspace {
+  std::vector<Message> outbox;
+  std::vector<Message> inbox;
+  std::vector<char> halted;
+  std::vector<std::size_t> active;
+  std::vector<ShardScratch> scratch;
+  bool in_use = false;       // re-entrancy guard (see acquire below)
+  std::size_t bytes = 0;     // last accounted footprint
+
+  EngineWorkspace() = default;
+  EngineWorkspace(const EngineWorkspace&) = delete;
+  EngineWorkspace& operator=(const EngineWorkspace&) = delete;
+  ~EngineWorkspace() {
+    // The lane (thread) is going away: return its bytes to the gauge, or
+    // short-lived pools (one BatchRunner per run_batch call) would leak
+    // dead bytes into the "currently pooled" statistic.
+    g_ws_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t footprint() const noexcept {
+    std::size_t log_bytes = 0;
+    for (const auto& sc : scratch) {
+      log_bytes += sc.log.capacity() * sizeof(DeliveredMessage) +
+                   sc.newly_halted.capacity() * sizeof(std::size_t);
+    }
+    return outbox.capacity() * sizeof(Message) +
+           inbox.capacity() * sizeof(Message) + halted.capacity() +
+           active.capacity() * sizeof(std::size_t) +
+           scratch.capacity() * sizeof(ShardScratch) + log_bytes;
+  }
+
+  /// Resets the buffers for a run over `n` nodes / `total_ports` ports with
+  /// `lanes` shards, growing capacity only when this lane has never seen a
+  /// graph this large.
+  void prepare(std::size_t n, std::size_t total_ports, unsigned lanes) {
+    const bool grows = total_ports > outbox.capacity() ||
+                       n > halted.capacity() || n > active.capacity() ||
+                       lanes > scratch.size();
+    outbox.assign(total_ports, kSilence);
+    inbox.assign(total_ports, kSilence);
+    halted.assign(n, 0);
+    active.clear();
+    active.reserve(n);
+    if (scratch.size() < lanes) scratch.resize(lanes);
+    (grows ? g_ws_growths : g_ws_reuses).fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+
+  void account() noexcept {
+    const std::size_t now = footprint();
+    if (now >= bytes) {
+      g_ws_bytes.fetch_add(now - bytes, std::memory_order_relaxed);
+    } else {
+      g_ws_bytes.fetch_sub(bytes - now, std::memory_order_relaxed);
+    }
+    bytes = now;
+  }
+};
+
+/// The per-thread workspace, or null when the thread is already inside a
+/// run (a NodeProgram that recursively calls run_synchronous must not
+/// clobber its own caller's buffers — the recursive run falls back to a
+/// private workspace).
+EngineWorkspace* acquire_workspace() {
+  thread_local EngineWorkspace workspace;
+  if (workspace.in_use) return nullptr;
+  workspace.in_use = true;
+  return &workspace;
+}
+
+/// RAII over acquire_workspace(): releases the lane workspace (updating the
+/// byte accounting) or owns the recursive-fallback workspace outright.
+class WorkspaceLease {
+ public:
+  WorkspaceLease()
+      : pooled_(acquire_workspace()),
+        fallback_(pooled_ ? nullptr : std::make_unique<EngineWorkspace>()) {}
+  ~WorkspaceLease() {
+    if (pooled_) {
+      pooled_->account();
+      pooled_->in_use = false;
+    }
+  }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  [[nodiscard]] EngineWorkspace& operator*() const noexcept {
+    return pooled_ ? *pooled_ : *fallback_;
+  }
+
+ private:
+  EngineWorkspace* pooled_;
+  std::unique_ptr<EngineWorkspace> fallback_;
+};
+
 }  // namespace
+
+EngineAllocStats engine_alloc_stats() noexcept {
+  EngineAllocStats stats;
+  stats.workspace_reuses = g_ws_reuses.load(std::memory_order_relaxed);
+  stats.workspace_growths = g_ws_growths.load(std::memory_order_relaxed);
+  stats.workspace_bytes = g_ws_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
 
 RunResult run_plan(const ExecutionPlan& plan,
                    std::vector<std::unique_ptr<NodeProgram>>& programs,
@@ -78,15 +192,18 @@ RunResult run_plan(const ExecutionPlan& plan,
   const std::size_t n = plan.num_nodes();
   EDS_ENSURE(programs.size() == n, "run_plan: one program per node required");
 
-  std::vector<Message> outbox(plan.total_ports(), kSilence);
-  std::vector<Message> inbox(plan.total_ports(), kSilence);
+  const unsigned lanes = std::max(1u, policy.lanes());
+  const WorkspaceLease lease;
+  EngineWorkspace& ws = *lease;
+  ws.prepare(n, plan.total_ports(), lanes);
+  std::vector<Message>& outbox = ws.outbox;
+  std::vector<Message>& inbox = ws.inbox;
 
   // The worklist: indices of non-halted nodes, always sorted ascending (it
   // only ever loses elements), so contiguous shard ranges visit nodes in
   // exactly the sequential order.
-  std::vector<char> halted(n, 0);
-  std::vector<std::size_t> active;
-  active.reserve(n);
+  std::vector<char>& halted = ws.halted;
+  std::vector<std::size_t>& active = ws.active;
   for (std::size_t v = 0; v < n; ++v) {
     programs[v]->start(plan.degree(v));
     if (programs[v]->halted()) {
@@ -101,8 +218,7 @@ RunResult run_plan(const ExecutionPlan& plan,
   result.messages_collected = options.collect_messages;
   RunStats& stats = result.stats;
 
-  const unsigned lanes = std::max(1u, policy.lanes());
-  std::vector<ShardScratch> scratch(lanes);
+  std::vector<ShardScratch>& scratch = ws.scratch;
 
   Round round = 0;
   while (!active.empty()) {

@@ -24,7 +24,9 @@
 // order, which is exactly the sequential order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -69,7 +71,30 @@ class ExecutionPlan {
     return partner_ref_[q];
   }
 
+  /// True when this plan was compiled from a graph with exactly the same
+  /// structure as `g` (degree sequence and involution).  This is the
+  /// PlanCache's collision guard: a 64-bit structural hash narrows the
+  /// candidates, matches() proves the identification.
+  [[nodiscard]] bool matches(const port::PortGraph& g) const;
+
+  /// Approximate heap footprint of the flat arrays, for cache accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return degrees_.capacity() * sizeof(Port) +
+           offsets_.capacity() * sizeof(std::size_t) +
+           partner_flat_.capacity() * sizeof(std::size_t) +
+           partner_ref_.capacity() * sizeof(port::PortRef);
+  }
+
+  /// Process-wide count of plan compilations (the graph-converting
+  /// constructor only).  Tests assert cache effectiveness through deltas
+  /// of this counter: a 1000-job sweep over one graph must raise it by 1.
+  [[nodiscard]] static std::uint64_t constructed_count() noexcept {
+    return constructed_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static inline std::atomic<std::uint64_t> constructed_{0};
+
   std::vector<Port> degrees_;
   std::vector<std::size_t> offsets_;       // prefix sums of degrees
   std::vector<std::size_t> partner_flat_;  // involution over flat indices
@@ -130,10 +155,32 @@ class ParallelPolicy final : public ExecutionPolicy {
 /// over the plan's graph until every node halts, scheduling stages with
 /// `policy`.  This is the engine core under run_synchronous; call it
 /// directly to reuse a plan or a policy (and its thread pool) across runs.
+///
+/// Message transport is pooled: the outbox/inbox lanes, the worklist and
+/// the per-shard scratch all live in a per-thread workspace that is reset
+/// (not reallocated) between rounds and reused across runs, so repeated
+/// executions on one lane perform no per-run buffer allocation once the
+/// workspace has grown to the largest graph seen.
 [[nodiscard]] RunResult run_plan(
     const ExecutionPlan& plan,
     std::vector<std::unique_ptr<NodeProgram>>& programs,
     const RunOptions& options, const std::string& name,
     ExecutionPolicy& policy);
+
+/// Allocation-pressure counters for the pooled message transport
+/// (process-wide, monotonic except `workspace_bytes`).  A healthy steady
+/// state shows `workspace_reuses` ~ runs and `workspace_growths` ~ the
+/// number of distinct lanes times the number of times a strictly larger
+/// graph appeared; bench_micro_runtime exports the deltas per benchmark.
+struct EngineAllocStats {
+  std::uint64_t workspace_reuses = 0;   ///< runs served without growing
+  std::uint64_t workspace_growths = 0;  ///< runs that grew a pooled buffer
+  std::uint64_t workspace_bytes = 0;    ///< bytes currently pooled, all lanes
+
+  [[nodiscard]] bool operator==(const EngineAllocStats&) const = default;
+};
+
+/// Snapshot of the pooled-transport counters.
+[[nodiscard]] EngineAllocStats engine_alloc_stats() noexcept;
 
 }  // namespace eds::runtime

@@ -1,10 +1,30 @@
 #include "runtime/runner.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "runtime/engine.hpp"
+#include "runtime/plan_cache.hpp"
 
 namespace eds::runtime {
+
+namespace {
+
+/// The plan for this run: borrowed from the requested cache, or compiled
+/// locally (into `local`) when no cache is configured.
+const ExecutionPlan& resolve_plan(
+    const port::PortGraph& g, const ExecOptions& exec,
+    std::shared_ptr<const ExecutionPlan>& shared,
+    std::optional<ExecutionPlan>& local) {
+  if (exec.plan_cache != nullptr) {
+    shared = exec.plan_cache->get(g);
+    return *shared;
+  }
+  local.emplace(g);
+  return *local;
+}
+
+}  // namespace
 
 std::string format_transcript(const RunResult& result) {
   std::ostringstream os;
@@ -41,7 +61,9 @@ RunResult run_synchronous(const port::PortGraph& g,
       throw ExecutionError("run_synchronous: factory returned null program");
     }
   }
-  const ExecutionPlan plan(g);
+  std::shared_ptr<const ExecutionPlan> shared;
+  std::optional<ExecutionPlan> local;
+  const ExecutionPlan& plan = resolve_plan(g, options.exec, shared, local);
   const auto policy = make_policy(options.exec);
   return run_plan(plan, programs, options, factory.name(), *policy);
 }
@@ -59,7 +81,9 @@ RunResult run_synchronous_programs(
       throw InvalidArgument("run_synchronous_programs: null program");
     }
   }
-  const ExecutionPlan plan(g);
+  std::shared_ptr<const ExecutionPlan> shared;
+  std::optional<ExecutionPlan> local;
+  const ExecutionPlan& plan = resolve_plan(g, options.exec, shared, local);
   const auto policy = make_policy(options.exec);
   return run_plan(plan, programs, options, name, *policy);
 }

@@ -27,12 +27,23 @@
 
 namespace eds::runtime {
 
-/// Execution-policy selection (the engine layer's one knob).
+class PlanCache;
+
+/// Execution-engine selection (scheduling and plan reuse); never affects
+/// results — every combination is bit-identical by differential test.
 struct ExecOptions {
   /// Lanes to execute each round's send/route/receive stages on:
   /// 1 = SequentialPolicy (default), >1 = ParallelPolicy with that many
   /// lanes, 0 = ParallelPolicy with one lane per hardware thread.
   unsigned threads = 1;
+
+  /// When set, the ExecutionPlan is fetched from (and shared through) this
+  /// cache instead of being compiled per run; null compiles a fresh plan.
+  /// `algo::run_algorithm` / `run_batch` default a null pointer to
+  /// `PlanCache::global()` — pass a cache explicitly to isolate or
+  /// observe its counters.  Plans are immutable, so sharing is invisible
+  /// except in wall-clock time and the cache's statistics.
+  PlanCache* plan_cache = nullptr;
 
   [[nodiscard]] bool operator==(const ExecOptions&) const = default;
 };

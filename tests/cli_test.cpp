@@ -203,6 +203,94 @@ TEST(Cli, SweepIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.out, b.out);
 }
 
+TEST(Cli, SweepNewFamiliesRun) {
+  const auto torus = invoke({"sweep", "torus", "--min", "9", "--max", "36"});
+  ASSERT_EQ(torus.code, 0) << torus.err;
+  EXPECT_NE(torus.out.find("port-one"), std::string::npos)
+      << "tori are 4-regular: auto picks port-one";
+
+  const auto grid = invoke({"sweep", "grid", "--min", "9", "--max", "16"});
+  ASSERT_EQ(grid.code, 0) << grid.err;
+  EXPECT_EQ(grid.out.find("NO"), std::string::npos);
+
+  const auto cat =
+      invoke({"sweep", "caterpillar", "--min", "12", "--max", "24"});
+  ASSERT_EQ(cat.code, 0) << cat.err;
+
+  const auto pl = invoke({"sweep", "powerlaw", "--min", "16", "--max", "64",
+                          "--seed", "5"});
+  ASSERT_EQ(pl.code, 0) << pl.err;
+  EXPECT_EQ(pl.out.find("NO"), std::string::npos);
+}
+
+TEST(Cli, SweepRepeatCompilesOnePlanPerInstance) {
+  const auto run = invoke({"sweep", "cycle", "--min", "8", "--max", "8",
+                           "--repeat", "5"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("jobs=5"), std::string::npos);
+  EXPECT_NE(run.out.find("plan-cache: compiled=1 hits=4"), std::string::npos)
+      << run.out;
+
+  // Two sizes x 3 repeats: 2 plans, 4 hits.
+  const auto two = invoke({"sweep", "cycle", "--min", "8", "--max", "16",
+                           "--repeat", "3"});
+  ASSERT_EQ(two.code, 0) << two.err;
+  EXPECT_NE(two.out.find("plan-cache: compiled=2 hits=4"), std::string::npos)
+      << two.out;
+
+  EXPECT_EQ(invoke({"sweep", "cycle", "--repeat", "0"}).code, 2);
+}
+
+TEST(Cli, SweepNdjsonStreamsOneObjectPerJob) {
+  const auto run = invoke({"sweep", "cycle", "--min", "8", "--max", "32",
+                           "--ndjson", "--repeat", "2"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  std::istringstream lines(run.out);
+  std::string line;
+  std::size_t rows = 0;
+  bool saw_summary = false;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line.find("\"summary\"") != std::string::npos) {
+      saw_summary = true;
+      EXPECT_NE(line.find("\"plans_compiled\":3"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"plan_hits\":3"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"all_feasible\":true"), std::string::npos);
+    } else {
+      ++rows;
+      EXPECT_NE(line.find("\"rounds\":"), std::string::npos);
+      EXPECT_NE(line.find("\"feasible\":true"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(rows, 6u);  // 3 sizes x 2 repeats
+  EXPECT_TRUE(saw_summary);
+
+  // The portgraph family emits NDJSON too, with port-level fields.
+  const auto multi = invoke({"sweep", "portgraph", "--min", "4", "--max", "8",
+                             "--d", "3", "--ndjson"});
+  ASSERT_EQ(multi.code, 0) << multi.err;
+  EXPECT_EQ(multi.out.front(), '{');
+  EXPECT_NE(multi.out.find("\"selected\":"), std::string::npos);
+  EXPECT_NE(multi.out.find("\"summary\""), std::string::npos);
+}
+
+TEST(Cli, SweepNdjsonIsDeterministicAcrossThreadCounts) {
+  const std::vector<std::string> base{"sweep", "regular", "--min", "8",
+                                      "--max", "32",      "--d",   "3",
+                                      "--seed", "13",     "--ndjson"};
+  auto one = base;
+  one.insert(one.end(), {"--threads", "1"});
+  auto many = base;
+  many.insert(many.end(), {"--threads", "8"});
+  const auto a = invoke(one);
+  const auto b = invoke(many);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
 TEST(Cli, SweepErrors) {
   EXPECT_EQ(invoke({"sweep"}).code, 2);
   EXPECT_EQ(invoke({"sweep", "nosuch"}).code, 2);

@@ -402,6 +402,169 @@ TEST(BatchRunner, RethrowsLowestIndexedFailure) {
   }
 }
 
+TEST(BatchRunner, StreamingMatchesRunAndArrivesInOrder) {
+  auto rng = test::make_rng(0x57E);
+  std::vector<port::PortedGraph> graphs;
+  for (int i = 0; i < 6; ++i) {
+    graphs.push_back(test::random_ported_regular(12 + 2 * i, 4, rng));
+  }
+  const algo::BoundedDegreeFactory bounded(4);
+  RunOptions traced;
+  traced.collect_trace = true;
+  traced.collect_messages = true;
+  std::vector<BatchJob> jobs;
+  for (const auto& pg : graphs) {
+    jobs.push_back({&pg.ports(), &bounded, traced});
+  }
+
+  for (const unsigned threads : {1u, 4u}) {
+    const BatchRunner runner(threads);
+    const auto expected = runner.run(jobs);
+    std::vector<std::size_t> order;
+    std::vector<RunResult> streamed(jobs.size());
+    runner.run_streaming(jobs, [&](std::size_t i, RunResult&& result) {
+      order.push_back(i);
+      streamed[i] = std::move(result);
+    });
+    ASSERT_EQ(order.size(), jobs.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(order[i], i) << "delivery must follow job order";
+      EXPECT_TRUE(streamed[i] == expected[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(BatchRunner, StreamingWithholdsResultsFromTheFailureOnward) {
+  const NeverHaltFactory never;
+  const EchoFactory echo(2);
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  RunOptions capped;
+  capped.max_rounds = 3;
+  // Jobs 0 and 1 succeed, job 2 fails, job 3 would succeed but must be
+  // withheld by the prefix rule.
+  const std::vector<BatchJob> jobs{
+      {&pg.ports(), &echo, {}},
+      {&pg.ports(), &echo, {}},
+      {&pg.ports(), &never, capped},
+      {&pg.ports(), &echo, {}},
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    const BatchRunner runner(threads);
+    std::vector<std::size_t> delivered;
+    EXPECT_THROW(
+        runner.run_streaming(jobs,
+                             [&](std::size_t i, RunResult&&) {
+                               delivered.push_back(i);
+                             }),
+        ExecutionError);
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0, 1}))
+        << "threads=" << threads;
+  }
+}
+
+TEST(BatchRunner, StreamingRethrowsCallbackFailures) {
+  const EchoFactory echo(1);
+  const auto pg = port::with_canonical_ports(graph::cycle(3));
+  const std::vector<BatchJob> jobs{
+      {&pg.ports(), &echo, {}},
+      {&pg.ports(), &echo, {}},
+  };
+  const BatchRunner runner(2);
+  std::size_t calls = 0;
+  EXPECT_THROW(runner.run_streaming(jobs,
+                                    [&](std::size_t, RunResult&&) {
+                                      ++calls;
+                                      throw InvalidArgument("consumer burp");
+                                    }),
+               InvalidArgument);
+  EXPECT_EQ(calls, 1u) << "delivery stops at the first callback failure";
+}
+
+TEST(BatchStream, NextPullsEveryResultInOrder) {
+  auto rng = test::make_rng(0x57F);
+  std::vector<port::PortedGraph> graphs;
+  for (int i = 0; i < 5; ++i) {
+    graphs.push_back(test::random_ported_regular(10 + 2 * i, 3, rng));
+  }
+  const algo::BoundedDegreeFactory bounded(3);
+  std::vector<BatchJob> jobs;
+  for (const auto& pg : graphs) {
+    jobs.push_back({&pg.ports(), &bounded, {}});
+  }
+  const BatchRunner runner(4);
+  const auto expected = runner.run(jobs);
+
+  auto stream = runner.stream(jobs);
+  std::size_t count = 0;
+  while (auto item = stream->next()) {
+    ASSERT_LT(count, expected.size());
+    EXPECT_EQ(item->index, count);
+    EXPECT_TRUE(item->result == expected[count]);
+    ++count;
+  }
+  EXPECT_EQ(count, jobs.size());
+  EXPECT_FALSE(stream->next().has_value()) << "stream stays exhausted";
+}
+
+TEST(BatchStream, NextRethrowsTheFailedJobAndEnds) {
+  const NeverHaltFactory never;
+  const EchoFactory echo(2);
+  const auto pg = port::with_canonical_ports(graph::cycle(4));
+  RunOptions capped;
+  capped.max_rounds = 3;
+  const std::vector<BatchJob> jobs{
+      {&pg.ports(), &echo, {}},
+      {&pg.ports(), &never, capped},
+      {&pg.ports(), &echo, {}},
+  };
+  const BatchRunner runner(2);
+  auto stream = runner.stream(jobs);
+  const auto first = stream->next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->index, 0u);
+  EXPECT_THROW((void)stream->next(), ExecutionError);
+  EXPECT_FALSE(stream->next().has_value());
+}
+
+TEST(BatchStream, AbandoningTheStreamDrainsTheBatch) {
+  const EchoFactory echo(3);
+  const auto pg = port::with_canonical_ports(graph::cycle(12));
+  const std::vector<BatchJob> jobs(8, BatchJob{&pg.ports(), &echo, {}});
+  const BatchRunner runner(2);
+  {
+    auto stream = runner.stream(jobs);
+    const auto item = stream->next();
+    ASSERT_TRUE(item.has_value());
+    // Dropping the stream here must join the in-flight batch cleanly.
+  }
+  // The runner is reusable after the stream is gone.
+  EXPECT_EQ(runner.run(jobs).size(), jobs.size());
+}
+
+TEST(AlgoBatch, StreamingMatchesRunBatch) {
+  auto rng = test::make_rng(0xA1C);
+  std::vector<port::PortedGraph> graphs;
+  graphs.push_back(test::random_ported_regular(14, 4, rng));
+  graphs.push_back(test::random_ported_regular(12, 3, rng));
+  std::vector<algo::BatchItem> items;
+  items.push_back({&graphs[0], algo::Algorithm::kPortOne, 0});
+  items.push_back({&graphs[1], algo::Algorithm::kOddRegular, 0});
+
+  const auto expected = algo::run_batch(items, 2);
+  std::vector<algo::EdsOutcome> streamed(items.size());
+  std::vector<std::size_t> order;
+  algo::run_batch_streaming(items, 2,
+                            [&](std::size_t i, algo::EdsOutcome&& outcome) {
+                              order.push_back(i);
+                              streamed[i] = std::move(outcome);
+                            });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(streamed[i].solution, expected[i].solution);
+    EXPECT_TRUE(streamed[i].stats == expected[i].stats);
+  }
+}
+
 TEST(AlgoBatch, MatchesRunAlgorithm) {
   auto rng = test::make_rng(0xA1B);
   std::vector<port::PortedGraph> graphs;

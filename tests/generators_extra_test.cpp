@@ -14,6 +14,72 @@
 namespace eds::graph {
 namespace {
 
+TEST(GeneratorsExtra, CaterpillarShape) {
+  // spine 4, 2 legs per spine node: 12 nodes, 3 spine edges + 8 leg edges.
+  const auto g = caterpillar(4, 2);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));  // caterpillars are trees
+  // Interior spine nodes: 2 spine neighbours + 2 legs.
+  EXPECT_EQ(g.degree(1), 4u);
+  EXPECT_EQ(g.degree(0), 3u);   // spine end
+  EXPECT_EQ(g.degree(11), 1u);  // a leaf
+  // Legless caterpillar degenerates to a path; single-node spine to a star.
+  EXPECT_EQ(caterpillar(5, 0).num_edges(), 4u);
+  EXPECT_EQ(caterpillar(1, 7).num_nodes(), 8u);
+  EXPECT_THROW((void)caterpillar(0, 2), InvalidArgument);
+}
+
+TEST(GeneratorsExtra, RandomPowerLawRespectsCapAndDeterminism) {
+  Rng rng(501);
+  const auto g = random_power_law(200, 2.5, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Default cap: ceil(sqrt(200)) = 15.
+  EXPECT_LE(g.max_degree(), 15u);
+
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const auto a = random_power_law(64, 2.0, rng_a, 8);
+  const auto b = random_power_law(64, 2.0, rng_b, 8);
+  std::ostringstream sa;
+  std::ostringstream sb;
+  write_edge_list(sa, a);
+  write_edge_list(sb, b);
+  EXPECT_EQ(sa.str(), sb.str()) << "same seed, same graph";
+  EXPECT_LE(a.max_degree(), 8u);
+
+  // The degree distribution is heavy-tailed: degree-1 nodes dominate
+  // degree->=4 nodes by a wide margin at exponent 2.5.
+  Rng rng_c(9);
+  const auto big = random_power_law(2000, 2.5, rng_c);
+  std::size_t ones = 0;
+  std::size_t heavy = 0;
+  for (NodeId v = 0; v < big.num_nodes(); ++v) {
+    if (big.degree(v) <= 1) ++ones;
+    if (big.degree(v) >= 4) ++heavy;
+  }
+  EXPECT_GT(ones, heavy * 2);
+
+  EXPECT_THROW((void)random_power_law(1, 2.5, rng), InvalidArgument);
+  EXPECT_THROW((void)random_power_law(10, 0.0, rng), InvalidArgument);
+}
+
+TEST(GeneratorsExtra, PowerLawAndCaterpillarSolveFeasibly) {
+  Rng rng(502);
+  for (const auto* family : {"powerlaw", "caterpillar"}) {
+    const auto g = std::string(family) == "powerlaw"
+                       ? random_power_law(80, 2.5, rng)
+                       : caterpillar(26, 2);
+    const auto pg = port::with_random_ports(g, rng);
+    const auto rec = algo::recommended_for(g);
+    const auto outcome = algo::run_algorithm(pg, rec.algorithm, rec.param);
+    EXPECT_TRUE(analysis::is_edge_dominating_set(g, outcome.solution))
+        << family;
+  }
+}
+
 TEST(GeneratorsExtra, PrismIsThreeRegular) {
   for (const std::size_t n : {3u, 4u, 7u}) {
     const auto g = prism(n);

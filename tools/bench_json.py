@@ -1,24 +1,45 @@
 #!/usr/bin/env python3
-"""Convert google-benchmark JSON into the BENCH_runtime.json schema.
+"""Convert google-benchmark JSON into the BENCH_runtime.json schema, and
+compare two such files for regressions.
 
-Reads a `--benchmark_format=json` report on stdin (or a file argument) and
-writes one record per benchmark:
+Convert mode (default) reads a `--benchmark_format=json` report on stdin
+(or a file argument) and writes one record per benchmark:
 
-    {"name": ..., "n": ..., "rounds": ..., "ns_per_op": ...}
+    {"name": ..., "n": ..., "rounds": ..., "ns_per_op": ..., "counters": {...}}
 
 plus a `context` block (host, date, threads) so the perf trajectory is
 comparable across CI runs.  `n`/`rounds` come from the benchmark's exported
-counters and are null for benchmarks that don't export them; `ns_per_op` is
-wall time per iteration in nanoseconds.
+counters and are null for benchmarks that don't export them; every *other*
+user counter (plan_hits, ws_growths, lanes, ...) lands in `counters`;
+`ns_per_op` is wall time per iteration in nanoseconds.
+
+Compare mode diffs two converted files per benchmark and per counter, and
+fails (exit 2) when wall time regresses beyond the threshold:
+
+    tools/bench_json.py --compare old.json new.json [--threshold 0.10]
 
 Usage:
     bench/bench_micro_runtime --benchmark_format=json | tools/bench_json.py \
         > BENCH_runtime.json
 """
+import argparse
 import json
 import sys
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# google-benchmark's own per-benchmark JSON fields; everything else numeric
+# is a user counter exported via state.counters.  (Benchmarks must not name
+# a counter after a builtin — e.g. use `lanes`, not `threads`.)
+BUILTIN_FIELDS = {
+    "family_index", "per_family_instance_index", "repetition_index",
+    "repetitions", "iterations", "real_time", "cpu_time", "threads",
+    "time_unit",
+    # Derived rate fields (SetItemsProcessed/SetBytesProcessed): pure
+    # wall-clock restatements that would add a noise row to every
+    # --compare report.
+    "items_per_second", "bytes_per_second",
+}
 
 
 def convert(report: dict) -> dict:
@@ -27,11 +48,18 @@ def convert(report: dict) -> dict:
         if bench.get("run_type") == "aggregate":
             continue
         scale = UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+        counters = {
+            key: value
+            for key, value in bench.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+            and key not in BUILTIN_FIELDS and key not in ("n", "rounds")
+        }
         records.append({
             "name": bench["name"],
             "n": int(bench["n"]) if "n" in bench else None,
             "rounds": int(bench["rounds"]) if "rounds" in bench else None,
             "ns_per_op": bench["real_time"] * scale,
+            "counters": counters,
         })
     context = report.get("context", {})
     return {
@@ -48,8 +76,79 @@ def convert(report: dict) -> dict:
     }
 
 
+def _fmt_delta(old, new):
+    if old in (None, 0) or new is None:
+        return "n/a"
+    return f"{(new - old) / old * 100.0:+.1f}%"
+
+
+def compare(old_path: str, new_path: str, threshold: float) -> int:
+    """Prints a markdown table of per-benchmark/per-counter deltas; returns
+    2 when any benchmark's ns_per_op regressed by more than `threshold`."""
+    with open(old_path) as f:
+        old = {b["name"]: b for b in json.load(f)["benchmarks"]}
+    with open(new_path) as f:
+        new = {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+    regressions = []
+    print(f"## Benchmark comparison (threshold {threshold * 100:.0f}%)")
+    print()
+    print("| benchmark | old ns/op | new ns/op | delta | counter deltas |")
+    print("|---|---:|---:|---:|---|")
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            print(f"| {name} | {old[name]['ns_per_op']:.0f} | removed | | |")
+            continue
+        if name not in old:
+            print(f"| {name} | new | {new[name]['ns_per_op']:.0f} | | |")
+            continue
+        o, n = old[name], new[name]
+        delta = _fmt_delta(o["ns_per_op"], n["ns_per_op"])
+        if o["ns_per_op"] > 0 and \
+                n["ns_per_op"] > o["ns_per_op"] * (1.0 + threshold):
+            delta += " REGRESSION"
+            regressions.append(name)
+        counter_bits = []
+        old_counters = dict(o.get("counters") or {})
+        for key in ("n", "rounds"):
+            if o.get(key) is not None:
+                old_counters[key] = o[key]
+        new_counters = dict(n.get("counters") or {})
+        for key in ("n", "rounds"):
+            if n.get(key) is not None:
+                new_counters[key] = n[key]
+        for key in sorted(set(old_counters) | set(new_counters)):
+            ov, nv = old_counters.get(key), new_counters.get(key)
+            if ov == nv:
+                continue
+            counter_bits.append(f"{key}: {ov} -> {nv} ({_fmt_delta(ov, nv)})")
+        print(f"| {name} | {o['ns_per_op']:.0f} | {n['ns_per_op']:.0f} "
+              f"| {delta} | {'; '.join(counter_bits)} |")
+    print()
+    if regressions:
+        print(f"**{len(regressions)} regression(s) beyond "
+              f"{threshold * 100:.0f}%:** {', '.join(regressions)}")
+        return 2
+    print("No wall-time regressions beyond the threshold.")
+    return 0
+
+
 def main() -> int:
-    source = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    parser = argparse.ArgumentParser(
+        description="BENCH_runtime.json converter / comparator")
+    parser.add_argument("input", nargs="?",
+                        help="google-benchmark JSON (default: stdin)")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="diff two converted BENCH_runtime.json files")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative ns_per_op regression gate "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    if args.compare:
+        return compare(args.compare[0], args.compare[1], args.threshold)
+
+    source = open(args.input) if args.input else sys.stdin
     with source:
         report = json.load(source)
     json.dump(convert(report), sys.stdout, indent=2)
