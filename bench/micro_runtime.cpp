@@ -15,9 +15,12 @@
 #include "algo/driver.hpp"
 #include "graph/generators.hpp"
 #include "port/ported_graph.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/shard.hpp"
 #include "util/rng.hpp"
+#include "test_util.hpp"  // test::edsim_binary (gtest-free)
 
 namespace {
 
@@ -33,8 +36,14 @@ class AllocPressure {
         after.workspace_reuses - before_.workspace_reuses);
     state.counters["ws_growths"] = static_cast<double>(
         after.workspace_growths - before_.workspace_growths);
+    // Net pooled-byte growth across the timed loop, NOT the absolute
+    // gauge: the gauge includes workspaces retained by *earlier*
+    // benchmarks in the process (e.g. BM_Engine100k's 100k-node main
+    // thread workspace), which would make the exported value depend on
+    // benchmark order and --benchmark_filter.
     state.counters["ws_bytes"] =
-        static_cast<double>(after.workspace_bytes);
+        static_cast<double>(after.workspace_bytes) -
+        static_cast<double>(before_.workspace_bytes);
   }
 
  private:
@@ -209,6 +218,64 @@ void BM_PlanCacheSweep(benchmark::State& state) {
   state.counters["plan_misses"] = static_cast<double>(stats.misses);
 }
 BENCHMARK(BM_PlanCacheSweep)->Arg(64)->Arg(256);
+
+void BM_ShardedSweep(benchmark::State& state) {
+  // The process-sharded batch point: 16 jobs over 4 instances (random
+  // 4-regular, n = 256) shipped to `edsim worker` subprocesses over the
+  // NDJSON pipes.  Workers are forked per batch, so the measured time
+  // includes the spawn/teardown cost the executor amortizes over a batch —
+  // the honest number for sweep-shaped workloads.  EDSIM_BIN overrides the
+  // compiled-in binary path.
+  const auto shards = static_cast<unsigned>(state.range(0));
+  const std::string bin = eds::test::edsim_binary();
+  if (bin.empty()) {
+    state.SkipWithError("edsim binary not found (set EDSIM_BIN)");
+    return;
+  }
+
+  eds::Rng rng(8);
+  std::vector<eds::port::PortedGraph> instances;
+  instances.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    instances.push_back(eds::port::with_random_ports(
+        eds::graph::random_regular(256, 4, rng), rng));
+  }
+  const auto factory =
+      eds::algo::make_factory(eds::algo::Algorithm::kBoundedDegree, 4);
+  std::vector<eds::runtime::BatchJob> jobs;
+  for (const auto& pg : instances) {
+    eds::runtime::BatchJob job;
+    job.graph = &pg.ports();
+    job.factory = factory.get();
+    eds::runtime::JobSpec spec;
+    spec.algorithm = "bounded-degree";
+    spec.param = 4;
+    spec.group = eds::runtime::structural_hash(pg.ports());
+    job.spec = spec;
+    for (int r = 0; r < 4; ++r) jobs.push_back(job);
+  }
+
+  const eds::runtime::ProcessShardExecutor executor({bin, "worker"}, shards);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    auto results = executor.run(jobs);
+    rounds = results.back().stats.rounds;
+    benchmark::DoNotOptimize(results.size());
+  }
+  const auto stats = executor.stats();
+  state.counters["n"] = 256.0 * static_cast<double>(jobs.size());
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["shards"] = static_cast<double>(shards);
+  // Timer-independent shape counters, normalized per iteration so they are
+  // comparable across machines and --benchmark_min_time.
+  state.counters["jobs_shipped"] = benchmark::Counter(
+      static_cast<double>(stats.jobs_shipped),
+      benchmark::Counter::kAvgIterations);
+  state.counters["workers_spawned"] = benchmark::Counter(
+      static_cast<double>(stats.workers_spawned),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ShardedSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

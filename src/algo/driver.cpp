@@ -27,6 +27,31 @@ std::string algorithm_name(Algorithm a) {
   throw InvalidArgument("algorithm_name: unknown algorithm");
 }
 
+std::string algorithm_token(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAllEdges:
+      return "all-edges";
+    case Algorithm::kPortOne:
+      return "port-one";
+    case Algorithm::kOddRegular:
+      return "odd-regular";
+    case Algorithm::kBoundedDegree:
+      return "bounded-degree";
+    case Algorithm::kDoubleCover:
+      return "double-cover";
+  }
+  throw InvalidArgument("algorithm_token: unknown algorithm");
+}
+
+std::optional<Algorithm> algorithm_from_token(const std::string& token) {
+  if (token == "all-edges") return Algorithm::kAllEdges;
+  if (token == "port-one") return Algorithm::kPortOne;
+  if (token == "odd-regular") return Algorithm::kOddRegular;
+  if (token == "bounded-degree") return Algorithm::kBoundedDegree;
+  if (token == "double-cover") return Algorithm::kDoubleCover;
+  return std::nullopt;
+}
+
 std::unique_ptr<runtime::ProgramFactory> make_factory(Algorithm algorithm,
                                                       port::Port param) {
   switch (algorithm) {
@@ -121,8 +146,12 @@ PreparedBatch prepare_batch(const std::vector<BatchItem>& items,
     batch.factories.push_back(make_factory(item.algorithm, param));
     runtime::RunOptions options;
     options.exec.plan_cache = plan_cache;
-    batch.jobs.push_back(
-        {&item.graph->ports(), batch.factories.back().get(), options});
+    runtime::JobSpec spec;
+    spec.algorithm = algorithm_token(item.algorithm);
+    spec.param = param;
+    spec.group = runtime::structural_hash(item.graph->ports());
+    batch.jobs.push_back({&item.graph->ports(), batch.factories.back().get(),
+                          options, std::move(spec)});
   }
   return batch;
 }
@@ -132,16 +161,20 @@ PreparedBatch prepare_batch(const std::vector<BatchItem>& items,
 std::vector<EdsOutcome> run_batch(const std::vector<BatchItem>& items,
                                   unsigned threads,
                                   runtime::PlanCache* plan_cache) {
-  const auto batch = prepare_batch(items, plan_cache);
-  const runtime::BatchRunner runner(threads);
-  const auto results = runner.run(batch.jobs);
+  return run_batch(items, runtime::ExecOptions{.threads = threads},
+                   plan_cache);
+}
 
+std::vector<EdsOutcome> run_batch(const std::vector<BatchItem>& items,
+                                  const runtime::ExecOptions& exec,
+                                  runtime::PlanCache* plan_cache) {
   std::vector<EdsOutcome> outcomes(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    outcomes[i].solution =
-        runtime::validated_edge_set(*items[i].graph, results[i]);
-    outcomes[i].stats = results[i].stats;
-  }
+  run_batch_streaming(
+      items, exec,
+      [&outcomes](std::size_t i, EdsOutcome&& outcome) {
+        outcomes[i] = std::move(outcome);
+      },
+      plan_cache);
   return outcomes;
 }
 
@@ -150,8 +183,22 @@ void run_batch_streaming(
     const std::function<void(std::size_t index, EdsOutcome&& outcome)>&
         on_outcome,
     runtime::PlanCache* plan_cache) {
+  run_batch_streaming(items, runtime::ExecOptions{.threads = threads},
+                      on_outcome, plan_cache);
+}
+
+void run_batch_streaming(
+    const std::vector<BatchItem>& items, const runtime::ExecOptions& exec,
+    const std::function<void(std::size_t index, EdsOutcome&& outcome)>&
+        on_outcome,
+    runtime::PlanCache* plan_cache) {
   const auto batch = prepare_batch(items, plan_cache);
-  const runtime::BatchRunner runner(threads);
+  // `exec.threads` sizes the in-process pool; `exec.executor` replaces it
+  // wholesale (the job-level options stay sequential either way, so the
+  // two levels of parallelism never multiply).
+  const runtime::BatchRunner runner =
+      exec.executor != nullptr ? runtime::BatchRunner(exec.executor)
+                               : runtime::BatchRunner(exec.threads);
   runner.run_streaming(
       batch.jobs, [&](std::size_t i, runtime::RunResult&& result) {
         EdsOutcome outcome;

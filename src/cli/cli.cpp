@@ -1,10 +1,16 @@
 #include "cli/cli.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "algo/driver.hpp"
 #include "analysis/ratio.hpp"
@@ -21,6 +27,7 @@
 #include "runtime/batch.hpp"
 #include "runtime/outputs.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/shard.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -91,7 +98,7 @@ void usage(std::ostream& out) {
          "      --threads N runs the engine's parallel policy (same result)\n"
          "  sweep <family> [--min N] [--max N] [--step S] [--d D]\n"
          "        [--algorithm A] [--param P] [--seed S] [--threads N]\n"
-         "        [--repeat R] [--ndjson]\n"
+         "        [--shards N] [--repeat R] [--ndjson]\n"
          "      families: path | cycle | regular | grid | torus |\n"
          "                caterpillar | powerlaw | portgraph\n"
          "      fans one instance per size across the batch engine's thread\n"
@@ -106,7 +113,12 @@ void usage(std::ostream& out) {
          "      compiled once per instance and reused via the plan cache);\n"
          "      --ndjson streams one JSON object per job as results arrive\n"
          "      (in job order, no full-batch barrier) plus a summary line\n"
-         "      with the plan-cache counters\n"
+         "      with the plan-cache counters; every object carries\n"
+         "      \"schema\":1;\n"
+         "      --shards N fans the jobs across N `edsim worker`\n"
+         "      subprocesses instead of threads (0 = one per hardware\n"
+         "      thread; output is byte-identical either way; workers keep\n"
+         "      per-shard plan caches, summed in the summary)\n"
          "  lower-bound <d>\n"
          "      emits the Theorem 1 (even d) / Theorem 2 (odd d) adversarial\n"
          "      instance in port-graph format, with its optimum\n"
@@ -121,12 +133,28 @@ void usage(std::ostream& out) {
 }
 
 std::optional<algo::Algorithm> parse_algorithm(const std::string& name) {
-  if (name == "all-edges") return algo::Algorithm::kAllEdges;
-  if (name == "port-one") return algo::Algorithm::kPortOne;
-  if (name == "odd-regular") return algo::Algorithm::kOddRegular;
-  if (name == "bounded-degree") return algo::Algorithm::kBoundedDegree;
-  if (name == "double-cover") return algo::Algorithm::kDoubleCover;
-  return std::nullopt;
+  // One vocabulary everywhere: the CLI flags and the worker wire protocol
+  // both speak algo::algorithm_token's tokens.
+  return algo::algorithm_from_token(name);
+}
+
+/// The binary to fork as `<bin> worker` for --shards: an explicit
+/// --worker-bin wins, then the EDSIM_BIN environment variable (how tests
+/// point an in-process run_cli at the real edsim), then this executable
+/// itself.  Empty when nothing resolves — the caller must fail loudly
+/// rather than guess from PATH, because a different-version `edsim`
+/// would silently break the byte-identical contract between backends.
+std::string worker_binary(const Args& args) {
+  if (args.has("worker-bin")) return args.get("worker-bin");
+  if (const char* env = std::getenv("EDSIM_BIN")) {
+    if (*env != '\0') return env;
+  }
+#if defined(__linux__)
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n > 0) return std::string(self, static_cast<std::size_t>(n));
+#endif
+  return "";
 }
 
 int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -365,6 +393,27 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
 
+  // --shards N swaps the in-process pool for `edsim worker` subprocesses;
+  // everything downstream (row printing, summary, exit code) is backend
+  // agnostic, which is what makes the outputs byte-identical.
+  std::unique_ptr<runtime::ProcessShardExecutor> shard_exec;
+  if (args.has("shards")) {
+    const auto bin = worker_binary(args);
+    if (bin.empty()) {
+      err << "sweep: cannot resolve the edsim binary for --shards "
+             "(pass --worker-bin PATH or set EDSIM_BIN)\n";
+      return 2;
+    }
+    try {
+      shard_exec = std::make_unique<runtime::ProcessShardExecutor>(
+          std::vector<std::string>{bin, "worker"},
+          static_cast<unsigned>(args.get_u64("shards", 0)));
+    } catch (const Error& e) {
+      err << "sweep: " << e.what() << '\n';
+      return 2;
+    }
+  }
+
   // Sizes: doubling from --min by default, arithmetic with --step S.
   std::vector<std::size_t> sizes;
   for (std::size_t n = min_n;;) {
@@ -393,21 +442,36 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   // domination (the simple-graph branch); the portgraph branch checks
   // output well-formedness, not feasibility, so it omits the field rather
   // than hardcoding a claim nobody computed.
+  // Under --shards the parent-side cache is idle; the workers' per-shard
+  // caches report their counters through the wire summaries instead, and
+  // group-affinity routing keeps the aggregated numbers identical to the
+  // single-cache run.
   runtime::PlanCache plan_cache;
   const auto summarize = [&](std::size_t jobs,
                              std::optional<bool> all_feasible) {
-    const auto stats = plan_cache.stats();
+    std::uint64_t compiled = 0;
+    std::uint64_t hits = 0;
+    if (shard_exec != nullptr) {
+      const auto stats = shard_exec->stats();
+      compiled = stats.plans_compiled;
+      hits = stats.plan_hits;
+    } else {
+      const auto stats = plan_cache.stats();
+      compiled = stats.misses;
+      hits = stats.hits;
+    }
     if (ndjson) {
-      out << "{\"summary\":{\"jobs\":" << jobs
-          << ",\"plans_compiled\":" << stats.misses
-          << ",\"plan_hits\":" << stats.hits;
+      out << "{\"schema\":" << runtime::kWireSchemaVersion
+          << ",\"summary\":{\"jobs\":" << jobs
+          << ",\"plans_compiled\":" << compiled
+          << ",\"plan_hits\":" << hits;
       if (all_feasible.has_value()) {
         out << ",\"all_feasible\":" << (*all_feasible ? "true" : "false");
       }
       out << "}}\n";
     } else {
-      out << "plan-cache: compiled=" << stats.misses
-          << " hits=" << stats.hits << '\n';
+      out << "plan-cache: compiled=" << compiled
+          << " hits=" << hits << '\n';
     }
   };
 
@@ -422,20 +486,26 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
             std::vector<port::Port>(n, static_cast<port::Port>(d)), rng));
       }
       const auto algorithm = fixed.value_or(algo::Algorithm::kBoundedDegree);
-      const auto factory = algo::make_factory(
-          algorithm, param != 0 ? param
-                                : static_cast<port::Port>(std::max<std::size_t>(
-                                      d, 1)));
+      const auto resolved_param =
+          param != 0 ? param
+                     : static_cast<port::Port>(std::max<std::size_t>(d, 1));
+      const auto factory = algo::make_factory(algorithm, resolved_param);
       std::vector<runtime::BatchJob> jobs;
       jobs.reserve(instances.size() * repeat);
       for (const auto& g : instances) {
         runtime::RunOptions options;
         options.exec.plan_cache = &plan_cache;
+        runtime::JobSpec spec;
+        spec.algorithm = algo::algorithm_token(algorithm);
+        spec.param = resolved_param;
+        spec.group = runtime::structural_hash(g);
         for (std::size_t r = 0; r < repeat; ++r) {
-          jobs.push_back({&g, factory.get(), options});
+          jobs.push_back({&g, factory.get(), options, spec});
         }
       }
-      const runtime::BatchRunner runner(threads);
+      const runtime::BatchRunner runner =
+          shard_exec != nullptr ? runtime::BatchRunner(shard_exec.get())
+                                : runtime::BatchRunner(threads);
 
       if (!ndjson) {
         out << "sweep: family=portgraph d=" << d
@@ -452,7 +522,8 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
             const auto selected =
                 runtime::validated_selection_size(g, result);
             if (ndjson) {
-              out << "{\"index\":" << i << ",\"family\":\"portgraph\""
+              out << "{\"schema\":" << runtime::kWireSchemaVersion
+                  << ",\"index\":" << i << ",\"family\":\"portgraph\""
                   << ",\"n\":" << sizes[i / repeat]
                   << ",\"ports\":" << g.num_ports()
                   << ",\"rounds\":" << result.stats.rounds
@@ -532,15 +603,19 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     table.header({"n", "edges", "algorithm", "rounds", "messages", "|D|",
                   "feasible"});
     bool all_feasible = true;
+    runtime::ExecOptions batch_exec;
+    batch_exec.threads = threads;
+    batch_exec.executor = shard_exec.get();
     algo::run_batch_streaming(
-        items, threads,
+        items, batch_exec,
         [&](std::size_t i, algo::EdsOutcome&& outcome) {
           const auto& g = items[i].graph->graph();
           const bool feasible =
               analysis::is_edge_dominating_set(g, outcome.solution);
           all_feasible = all_feasible && feasible;
           if (ndjson) {
-            out << "{\"index\":" << i << ",\"family\":\"" << family << '"'
+            out << "{\"schema\":" << runtime::kWireSchemaVersion
+                << ",\"index\":" << i << ",\"family\":\"" << family << '"'
                 << ",\"n\":" << sizes[i / repeat]
                 << ",\"nodes\":" << g.num_nodes()
                 << ",\"edges\":" << g.num_edges() << ",\"algorithm\":\""
@@ -568,6 +643,66 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     err << "sweep: " << e.what() << '\n';
     return 1;
   }
+}
+
+/// Hidden subcommand behind `edsim sweep --shards`: one shard of a
+/// ProcessShardExecutor batch.  Speaks the schema-1 NDJSON protocol of
+/// runtime/shard.hpp on stdin/stdout — one job line in, one result (or
+/// error) line out, flushed per job so the parent can stream, then a
+/// worker_summary line on stdin EOF.  A job that fails its run produces an
+/// error line and the worker carries on: draining the batch is the
+/// parent's prefix-rule contract.  Jobs run under a worker-local PlanCache
+/// (the per-shard cache of the design), whose counters feed the summary.
+///
+/// `--fail-after K` is a test hook: exit 7 (without a summary) after K
+/// result lines, simulating a worker dying mid-batch.
+int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  const auto fail_after = args.get_u64("fail-after", 0);
+  runtime::PlanCache cache;
+  runtime::WorkerSummary summary;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    runtime::WireJob job;
+    try {
+      job = runtime::decode_wire_job(line);
+    } catch (const Error& e) {
+      // A malformed job line is a protocol failure, not a job failure:
+      // die loudly and let the parent fail this shard's remaining jobs.
+      err << "worker: " << e.what() << '\n';
+      return 2;
+    }
+    try {
+      const auto g = port::from_port_graph_string(job.graph_text);
+      const auto algorithm = algo::algorithm_from_token(job.algorithm);
+      if (!algorithm) {
+        throw InvalidArgument("worker: unknown algorithm token '" +
+                              job.algorithm + "'");
+      }
+      const auto factory = algo::make_factory(*algorithm, job.param);
+      runtime::RunOptions options;
+      options.max_rounds = job.max_rounds;
+      options.exec.threads = job.threads;
+      options.exec.plan_cache = &cache;
+      const auto result = runtime::run_synchronous(g, *factory, options);
+      out << runtime::encode_wire_result(job.index, result) << '\n';
+    } catch (const std::exception& e) {
+      // Any job failure — eds::Error or std::bad_alloc alike — becomes an
+      // error line for exactly that job, matching the in-process backend's
+      // catch-everything per-job semantics.
+      out << runtime::encode_wire_error(job.index, e.what()) << '\n';
+    }
+    out.flush();
+    ++summary.jobs;
+    if (fail_after != 0 && summary.jobs >= fail_after) return 7;
+  }
+  const auto stats = cache.stats();
+  summary.plans_compiled = stats.misses;
+  summary.plan_hits = stats.hits;
+  out << runtime::encode_worker_summary(summary) << '\n';
+  out.flush();
+  return 0;
 }
 
 int cmd_views(const Args& args, std::istream& in, std::ostream& out,
@@ -624,6 +759,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
       return cmd_run_portgraph(parsed, in, out, err);
     }
     if (command == "sweep") return cmd_sweep(parsed, out, err);
+    if (command == "worker") return cmd_worker(parsed, in, out, err);
     if (command == "views") return cmd_views(parsed, in, out, err);
     if (command == "table1") return cmd_table1(out);
   } catch (const std::exception& e) {

@@ -1,6 +1,7 @@
 #include "runtime/batch.hpp"
 
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -9,127 +10,55 @@
 
 namespace eds::runtime {
 
-namespace {
+BatchRunner::BatchRunner(unsigned threads)
+    : owned_(std::make_unique<InProcessExecutor>(threads)),
+      executor_(owned_.get()) {}
 
-void validate_jobs(const std::vector<BatchJob>& jobs) {
-  for (const auto& job : jobs) {
-    if (job.graph == nullptr || job.factory == nullptr) {
-      throw InvalidArgument("BatchRunner: job requires a graph and a factory");
-    }
+BatchRunner::BatchRunner(const Executor* executor) : executor_(executor) {
+  if (executor_ == nullptr) {
+    throw InvalidArgument("BatchRunner: executor must not be null");
   }
 }
-
-/// The in-order reorder buffer shared by every consumption style: workers
-/// deposit results out of order, the delivery cursor only ever advances
-/// over completed slots in index order.
-struct ReorderBuffer {
-  explicit ReorderBuffer(std::size_t jobs)
-      : results(jobs), errors(jobs), done(jobs, 0) {}
-
-  std::mutex mutex;
-  std::condition_variable ready;
-  std::vector<RunResult> results;
-  std::vector<std::exception_ptr> errors;
-  std::vector<char> done;
-  std::size_t cursor = 0;  // first index not yet delivered
-  bool stopped = false;    // delivery halted (job failure or callback throw)
-  bool delivering = false;  // one worker is draining the ready prefix
-  std::exception_ptr delivery_error;  // first exception from a callback
-
-  /// Runs one job and deposits its outcome; never throws.
-  void execute(const BatchJob& job, std::size_t i) noexcept {
-    try {
-      results[i] = run_synchronous(*job.graph, *job.factory, job.options);
-    } catch (...) {
-      errors[i] = std::current_exception();
-    }
-  }
-
-  /// After job `i` lands: deliver the ready prefix through `on_result`.
-  /// The `delivering` flag makes exactly one worker the deliverer at a
-  /// time, so callbacks never interleave and observe strictly increasing
-  /// indices — but each callback runs *outside* the mutex, so a slow
-  /// consumer never blocks the other workers from depositing results and
-  /// pulling their next jobs.
-  void deposit_and_flush(std::size_t i,
-                         const BatchRunner::ResultCallback& on_result) {
-    std::unique_lock<std::mutex> lock(mutex);
-    done[i] = 1;
-    if (delivering) return;  // the current deliverer will pick this up
-    delivering = true;
-    while (!stopped && cursor < done.size() && done[cursor] != 0) {
-      if (errors[cursor]) {
-        stopped = true;  // the prefix rule: nothing at or past a failure
-        break;
-      }
-      const std::size_t idx = cursor++;
-      RunResult result = std::move(results[idx]);
-      lock.unlock();
-      std::exception_ptr thrown;
-      try {
-        on_result(idx, std::move(result));
-      } catch (...) {
-        thrown = std::current_exception();
-      }
-      lock.lock();
-      if (thrown) {
-        delivery_error = thrown;
-        stopped = true;
-        break;
-      }
-    }
-    delivering = false;
-  }
-
-  /// The post-drain rethrow: the callback's own failure wins (it is the
-  /// earliest in delivery order by construction), else the lowest-indexed
-  /// job failure.
-  void rethrow_failures() const {
-    if (delivery_error) std::rethrow_exception(delivery_error);
-    for (const auto& error : errors) {
-      if (error) std::rethrow_exception(error);
-    }
-  }
-};
-
-}  // namespace
-
-BatchRunner::BatchRunner(unsigned threads) : pool_(threads) {}
 
 BatchRunner::~BatchRunner() = default;
 
 std::vector<RunResult> BatchRunner::run(
     const std::vector<BatchJob>& jobs) const {
-  std::vector<RunResult> results(jobs.size());
-  run_streaming(jobs, [&results](std::size_t i, RunResult&& result) {
-    results[i] = std::move(result);
-  });
-  return results;
+  return executor_->run(jobs);
 }
 
 void BatchRunner::run_streaming(const std::vector<BatchJob>& jobs,
                                 const ResultCallback& on_result) const {
-  validate_jobs(jobs);
-  ReorderBuffer buffer(jobs.size());
-  pool_.run(jobs.size(), [&](std::size_t i) {
-    buffer.execute(jobs[i], i);
-    buffer.deposit_and_flush(i, on_result);
-  });
-  buffer.rethrow_failures();
+  executor_->run_streaming(jobs, on_result);
 }
 
+/// The pull adapter: a driver thread pumps the backend's run_streaming and
+/// pushes each in-order result into a queue; next() pops.  Because the
+/// backend already delivers a strictly increasing prefix and withholds
+/// everything from the lowest failure onward, the queue inherits the whole
+/// determinism contract — this adapter never reorders or filters.
 struct BatchStream::Impl {
-  Impl(std::vector<BatchJob> jobs_in, ThreadPool* pool)
-      : jobs(std::move(jobs_in)), buffer(jobs.size()) {
-    driver = std::thread([this, pool] {
-      pool->run(jobs.size(), [this](std::size_t i) {
-        buffer.execute(jobs[i], i);
-        {
-          const std::lock_guard<std::mutex> lock(buffer.mutex);
-          buffer.done[i] = 1;
-        }
-        buffer.ready.notify_all();
-      });
+  Impl(std::vector<BatchJob> jobs_in, const Executor* executor)
+      : jobs(std::move(jobs_in)) {
+    driver = std::thread([this, executor] {
+      try {
+        executor->run_streaming(
+            jobs, [this](std::size_t i, RunResult&& result) {
+              {
+                const std::lock_guard<std::mutex> lock(mutex);
+                queue.push_back(Item{i, std::move(result)});
+              }
+              ready.notify_all();
+            });
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        finished = true;
+      }
+      ready.notify_all();
     });
   }
 
@@ -138,7 +67,12 @@ struct BatchStream::Impl {
   }
 
   std::vector<BatchJob> jobs;
-  ReorderBuffer buffer;
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<Item> queue;
+  std::exception_ptr error;  // the backend's post-drain rethrow, if any
+  bool finished = false;     // driver has returned from run_streaming
+  bool stopped = false;      // next() already rethrew; stream is over
   std::thread driver;
 };
 
@@ -147,32 +81,35 @@ BatchStream::BatchStream(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 BatchStream::~BatchStream() = default;
 
 std::optional<BatchStream::Item> BatchStream::next() {
-  ReorderBuffer& buffer = impl_->buffer;
-  std::unique_lock<std::mutex> lock(buffer.mutex);
-  if (buffer.stopped || buffer.cursor >= buffer.done.size()) {
-    return std::nullopt;
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  if (impl.stopped) return std::nullopt;
+  impl.ready.wait(lock, [&impl] { return !impl.queue.empty() || impl.finished; });
+  if (!impl.queue.empty()) {
+    Item item = std::move(impl.queue.front());
+    impl.queue.pop_front();
+    return item;
   }
-  const std::size_t i = buffer.cursor;
-  buffer.ready.wait(lock, [&buffer, i] { return buffer.done[i] != 0; });
-  if (buffer.errors[i]) {
-    // The prefix rule: a failure ends the stream; drain the batch before
-    // rethrowing so the pool is quiescent when the caller unwinds.
-    buffer.stopped = true;
-    const auto error = buffer.errors[i];
+  // Queue exhausted and the batch has drained: surface the failure (once)
+  // or signal completion.  The driver has already returned, so the backend
+  // is quiescent when the caller unwinds.
+  impl.stopped = true;
+  if (impl.error) {
+    const auto error = impl.error;
     lock.unlock();
-    if (impl_->driver.joinable()) impl_->driver.join();
+    if (impl.driver.joinable()) impl.driver.join();
     std::rethrow_exception(error);
   }
-  ++buffer.cursor;
-  Item item{i, std::move(buffer.results[i])};
-  return item;
+  return std::nullopt;
 }
 
 std::unique_ptr<BatchStream> BatchRunner::stream(
     std::vector<BatchJob> jobs) const {
-  validate_jobs(jobs);
+  // Backend-aware validation up front: a misconfigured job must fail here,
+  // not from the first next() after the driver has already drained.
+  executor_->validate(jobs);
   return std::unique_ptr<BatchStream>(new BatchStream(
-      std::make_unique<BatchStream::Impl>(std::move(jobs), &pool_)));
+      std::make_unique<BatchStream::Impl>(std::move(jobs), executor_)));
 }
 
 }  // namespace eds::runtime

@@ -1,0 +1,47 @@
+#include "runtime/executor.hpp"
+
+#include "runtime/batch.hpp"
+#include "runtime/reorder.hpp"
+#include "util/error.hpp"
+
+namespace eds::runtime {
+
+Executor::~Executor() = default;
+
+void Executor::validate(const std::vector<BatchJob>& jobs) const {
+  for (const auto& job : jobs) {
+    if (job.graph == nullptr || job.factory == nullptr) {
+      throw InvalidArgument("Executor: job requires a graph and a factory");
+    }
+  }
+}
+
+std::vector<RunResult> Executor::run(const std::vector<BatchJob>& jobs) const {
+  std::vector<RunResult> results(jobs.size());
+  run_streaming(jobs, [&results](std::size_t i, RunResult&& result) {
+    results[i] = std::move(result);
+  });
+  return results;
+}
+
+InProcessExecutor::InProcessExecutor(unsigned threads) : pool_(threads) {}
+
+InProcessExecutor::~InProcessExecutor() = default;
+
+void InProcessExecutor::run_streaming(const std::vector<BatchJob>& jobs,
+                                      const ResultCallback& on_result) const {
+  validate(jobs);
+  detail::ReorderBuffer buffer(jobs.size());
+  pool_.run(jobs.size(), [&](std::size_t i) {
+    try {
+      buffer.results[i] =
+          run_synchronous(*jobs[i].graph, *jobs[i].factory, jobs[i].options);
+    } catch (...) {
+      buffer.errors[i] = std::current_exception();
+    }
+    buffer.deposit_and_flush(i, on_result);
+  });
+  buffer.rethrow_failures();
+}
+
+}  // namespace eds::runtime

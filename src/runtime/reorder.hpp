@@ -1,0 +1,79 @@
+// Internal: the in-order reorder buffer shared by every Executor backend.
+//
+// Workers (pool lanes, shard reader threads) deposit per-job outcomes out
+// of order; the delivery cursor only ever advances over completed slots in
+// index order, which is what makes every backend's delivery deterministic.
+// Not part of the public API — include only from runtime/*.cpp.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/runner.hpp"
+
+namespace eds::runtime::detail {
+
+struct ReorderBuffer {
+  explicit ReorderBuffer(std::size_t jobs)
+      : results(jobs), errors(jobs), done(jobs, 0) {}
+
+  std::mutex mutex;
+  std::vector<RunResult> results;
+  std::vector<std::exception_ptr> errors;
+  std::vector<char> done;
+  std::size_t cursor = 0;  // first index not yet delivered
+  bool stopped = false;    // delivery halted (job failure or callback throw)
+  bool delivering = false;  // one worker is draining the ready prefix
+  std::exception_ptr delivery_error;  // first exception from a callback
+
+  /// After job `i`'s outcome has been stored in results[i]/errors[i]:
+  /// deliver the ready prefix through `on_result`.  The `delivering` flag
+  /// makes exactly one depositor the deliverer at a time, so callbacks
+  /// never interleave and observe strictly increasing indices — but each
+  /// callback runs *outside* the mutex, so a slow consumer never blocks
+  /// other workers from depositing results and pulling their next jobs.
+  void deposit_and_flush(std::size_t i,
+                         const Executor::ResultCallback& on_result) {
+    std::unique_lock<std::mutex> lock(mutex);
+    done[i] = 1;
+    if (delivering) return;  // the current deliverer will pick this up
+    delivering = true;
+    while (!stopped && cursor < done.size() && done[cursor] != 0) {
+      if (errors[cursor]) {
+        stopped = true;  // the prefix rule: nothing at or past a failure
+        break;
+      }
+      const std::size_t idx = cursor++;
+      RunResult result = std::move(results[idx]);
+      lock.unlock();
+      std::exception_ptr thrown;
+      try {
+        on_result(idx, std::move(result));
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      lock.lock();
+      if (thrown) {
+        delivery_error = thrown;
+        stopped = true;
+        break;
+      }
+    }
+    delivering = false;
+  }
+
+  /// The post-drain rethrow: the callback's own failure wins (it is the
+  /// earliest in delivery order by construction), else the lowest-indexed
+  /// job failure.
+  void rethrow_failures() const {
+    if (delivery_error) std::rethrow_exception(delivery_error);
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+};
+
+}  // namespace eds::runtime::detail

@@ -28,13 +28,17 @@
 namespace eds::runtime {
 
 class PlanCache;
+class Executor;
 
-/// Execution-engine selection (scheduling and plan reuse); never affects
-/// results — every combination is bit-identical by differential test.
+/// Execution-engine selection (scheduling, plan reuse, batch backend);
+/// never affects results — every combination is bit-identical by
+/// differential test.
 struct ExecOptions {
   /// Lanes to execute each round's send/route/receive stages on:
   /// 1 = SequentialPolicy (default), >1 = ParallelPolicy with that many
-  /// lanes, 0 = ParallelPolicy with one lane per hardware thread.
+  /// lanes, 0 = ParallelPolicy with one lane per hardware thread.  At the
+  /// batch level (`algo::run_batch`) this is instead the number of
+  /// concurrent jobs of the in-process backend.
   unsigned threads = 1;
 
   /// When set, the ExecutionPlan is fetched from (and shared through) this
@@ -44,6 +48,13 @@ struct ExecOptions {
   /// observe its counters.  Plans are immutable, so sharing is invisible
   /// except in wall-clock time and the cache's statistics.
   PlanCache* plan_cache = nullptr;
+
+  /// Batch-level backend override (non-owning): when set,
+  /// `algo::run_batch` / `run_batch_streaming` route their jobs through
+  /// this executor — e.g. a ProcessShardExecutor — instead of an
+  /// in-process BatchRunner pool of `threads` lanes.  Ignored by
+  /// run_synchronous: a single run has no batch to shard.
+  const Executor* executor = nullptr;
 
   [[nodiscard]] bool operator==(const ExecOptions&) const = default;
 };

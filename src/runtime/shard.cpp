@@ -1,0 +1,712 @@
+#include "runtime/shard.hpp"
+
+#include <cerrno>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "port/io.hpp"
+#include "runtime/reorder.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace eds::runtime {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire codecs.  The protocol is NDJSON with a *fixed field order* (the
+// shapes in shard.hpp): encoders and decoders are two halves of one
+// implementation, so a strict sequential parser is both sufficient and the
+// cheapest way to reject malformed input loudly.
+
+void append_escaped(std::string& out, const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Strict sequential scanner over one wire line.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  /// Consumes the exact literal `text` or throws.
+  void lit(const char* text) {
+    for (const char* p = text; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) {
+        throw InvalidArgument("wire: expected '" + std::string(text) +
+                              "' at offset " + std::to_string(pos_));
+      }
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool peek(char c) const {
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  /// Consumes `text` if it is next; returns whether it did.
+  [[nodiscard]] bool try_lit(const char* text) {
+    std::size_t p = pos_;
+    for (const char* t = text; *t != '\0'; ++t, ++p) {
+      if (p >= s_.size() || s_[p] != *t) return false;
+    }
+    pos_ = p;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t uint() {
+    if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+      throw InvalidArgument("wire: expected digit at offset " +
+                            std::to_string(pos_));
+    }
+    std::uint64_t value = 0;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(s_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        throw InvalidArgument("wire: integer overflow");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::string str() {
+    lit("\"");
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw InvalidArgument("wire: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) throw InvalidArgument("wire: dangling escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            throw InvalidArgument("wire: truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else throw InvalidArgument("wire: bad \\u escape");
+          }
+          if (value > 0xFF) {
+            throw InvalidArgument("wire: non-latin \\u escape unsupported");
+          }
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          throw InvalidArgument("wire: unknown escape");
+      }
+    }
+  }
+
+  void end() const {
+    if (pos_ != s_.size()) {
+      throw InvalidArgument("wire: trailing bytes after object");
+    }
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void append_prefix(std::string& out) {
+  out += "{\"schema\":";
+  out += std::to_string(kWireSchemaVersion);
+  out += ',';
+}
+
+void consume_prefix(Cursor& c) {
+  c.lit("{\"schema\":");
+  const auto schema = c.uint();
+  if (schema != static_cast<std::uint64_t>(kWireSchemaVersion)) {
+    throw InvalidArgument("wire: unsupported schema version " +
+                          std::to_string(schema));
+  }
+  c.lit(",");
+}
+
+/// Job-line body with the graph segment already escaped — the writer
+/// threads escape each distinct graph once and reuse it across every
+/// repeat, instead of re-scanning the (potentially large) text per job.
+std::string encode_job_line(std::size_t index, const std::string& algorithm,
+                            Port param, unsigned threads, Round max_rounds,
+                            const std::string& escaped_graph) {
+  std::string out;
+  out.reserve(escaped_graph.size() + algorithm.size() + 96);
+  append_prefix(out);
+  out += "\"job\":{\"index\":";
+  out += std::to_string(index);
+  out += ",\"algorithm\":\"";
+  append_escaped(out, algorithm);
+  out += "\",\"param\":";
+  out += std::to_string(param);
+  out += ",\"threads\":";
+  out += std::to_string(threads);
+  out += ",\"max_rounds\":";
+  out += std::to_string(max_rounds);
+  out += ",\"graph\":\"";
+  out += escaped_graph;
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace
+
+std::string encode_wire_job(const WireJob& job) {
+  std::string escaped;
+  escaped.reserve(job.graph_text.size());
+  append_escaped(escaped, job.graph_text);
+  return encode_job_line(job.index, job.algorithm, job.param, job.threads,
+                         job.max_rounds, escaped);
+}
+
+WireJob decode_wire_job(const std::string& line) {
+  Cursor c(line);
+  consume_prefix(c);
+  WireJob job;
+  c.lit("\"job\":{\"index\":");
+  job.index = static_cast<std::size_t>(c.uint());
+  c.lit(",\"algorithm\":");
+  job.algorithm = c.str();
+  c.lit(",\"param\":");
+  job.param = static_cast<Port>(c.uint());
+  c.lit(",\"threads\":");
+  job.threads = static_cast<unsigned>(c.uint());
+  c.lit(",\"max_rounds\":");
+  job.max_rounds = static_cast<Round>(c.uint());
+  c.lit(",\"graph\":");
+  job.graph_text = c.str();
+  c.lit("}}");
+  c.end();
+  return job;
+}
+
+std::string encode_wire_result(std::size_t index, const RunResult& result) {
+  std::string out;
+  out.reserve(64 + result.outputs.size() * 4);
+  append_prefix(out);
+  out += "\"result\":{\"index\":";
+  out += std::to_string(index);
+  out += ",\"rounds\":";
+  out += std::to_string(result.stats.rounds);
+  out += ",\"messages\":";
+  out += std::to_string(result.stats.messages_sent);
+  out += ",\"ports_served\":";
+  out += std::to_string(result.stats.ports_served);
+  out += ",\"outputs\":[";
+  for (std::size_t v = 0; v < result.outputs.size(); ++v) {
+    if (v != 0) out += ',';
+    out += '[';
+    for (std::size_t k = 0; k < result.outputs[v].size(); ++k) {
+      if (k != 0) out += ',';
+      out += std::to_string(result.outputs[v][k]);
+    }
+    out += ']';
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string encode_wire_error(std::size_t index, const std::string& message) {
+  std::string out;
+  append_prefix(out);
+  out += "\"error\":{\"index\":";
+  out += std::to_string(index);
+  out += ",\"message\":\"";
+  append_escaped(out, message);
+  out += "\"}}";
+  return out;
+}
+
+std::string encode_worker_summary(const WorkerSummary& summary) {
+  std::string out;
+  append_prefix(out);
+  out += "\"worker_summary\":{\"jobs\":";
+  out += std::to_string(summary.jobs);
+  out += ",\"plans_compiled\":";
+  out += std::to_string(summary.plans_compiled);
+  out += ",\"plan_hits\":";
+  out += std::to_string(summary.plan_hits);
+  out += "}}";
+  return out;
+}
+
+WorkerLine decode_worker_line(const std::string& line) {
+  Cursor c(line);
+  consume_prefix(c);
+  WorkerLine parsed;
+  if (c.try_lit("\"result\":{\"index\":")) {
+    parsed.kind = WorkerLine::Kind::kResult;
+    parsed.index = static_cast<std::size_t>(c.uint());
+    c.lit(",\"rounds\":");
+    parsed.result.stats.rounds = static_cast<Round>(c.uint());
+    c.lit(",\"messages\":");
+    parsed.result.stats.messages_sent = c.uint();
+    c.lit(",\"ports_served\":");
+    parsed.result.stats.ports_served = c.uint();
+    c.lit(",\"outputs\":[");
+    if (!c.peek(']')) {
+      while (true) {
+        c.lit("[");
+        std::vector<Port> ports;
+        if (!c.peek(']')) {
+          while (true) {
+            ports.push_back(static_cast<Port>(c.uint()));
+            if (c.peek(',')) {
+              c.lit(",");
+              continue;
+            }
+            break;
+          }
+        }
+        c.lit("]");
+        parsed.result.outputs.push_back(std::move(ports));
+        if (c.peek(',')) {
+          c.lit(",");
+          continue;
+        }
+        break;
+      }
+    }
+    c.lit("]}}");
+    c.end();
+    return parsed;
+  }
+  if (c.try_lit("\"error\":{\"index\":")) {
+    parsed.kind = WorkerLine::Kind::kError;
+    parsed.index = static_cast<std::size_t>(c.uint());
+    c.lit(",\"message\":");
+    parsed.message = c.str();
+    c.lit("}}");
+    c.end();
+    return parsed;
+  }
+  c.lit("\"worker_summary\":{\"jobs\":");
+  parsed.kind = WorkerLine::Kind::kSummary;
+  parsed.summary.jobs = c.uint();
+  c.lit(",\"plans_compiled\":");
+  parsed.summary.plans_compiled = c.uint();
+  c.lit(",\"plan_hits\":");
+  parsed.summary.plan_hits = c.uint();
+  c.lit("}}");
+  c.end();
+  return parsed;
+}
+
+// ---------------------------------------------------------------------------
+// The executor itself.
+
+ProcessShardExecutor::ProcessShardExecutor(
+    std::vector<std::string> worker_command, unsigned shards)
+    : worker_command_(std::move(worker_command)),
+      shards_(resolve_threads(shards)) {
+  if (worker_command_.empty()) {
+    throw InvalidArgument(
+        "ProcessShardExecutor: worker command must not be empty");
+  }
+#if defined(_WIN32)
+  throw InvalidArgument(
+      "ProcessShardExecutor: process sharding requires a POSIX platform");
+#endif
+}
+
+ProcessShardExecutor::~ProcessShardExecutor() = default;
+
+ProcessShardExecutor::Stats ProcessShardExecutor::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+#if defined(_WIN32)
+
+void ProcessShardExecutor::validate(const std::vector<BatchJob>&) const {
+  throw InvalidArgument(
+      "ProcessShardExecutor: process sharding requires a POSIX platform");
+}
+
+void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>&,
+                                         const ResultCallback&) const {
+  throw InvalidArgument(
+      "ProcessShardExecutor: process sharding requires a POSIX platform");
+}
+
+#else
+
+namespace {
+
+/// One forked worker and the parent-side bookkeeping for it.
+struct Worker {
+  pid_t pid = -1;
+  int in_fd = -1;   ///< parent writes job lines here (worker stdin)
+  int out_fd = -1;  ///< parent reads result lines here (worker stdout)
+  const std::vector<std::size_t>* assigned = nullptr;  ///< global indices
+  std::size_t completed = 0;   ///< result/error lines accepted so far
+  std::string violation;       ///< protocol-violation description, if any
+  int wait_status = 0;         ///< raw waitpid status
+  WorkerSummary summary;
+  bool summary_seen = false;
+  std::thread writer;
+  std::thread reader;
+};
+
+/// Runs a cleanup action when the scope unwinds, exception or not.
+template <typename Fn>
+class ScopeExit {
+ public:
+  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
+  ~ScopeExit() { fn_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  Fn fn_;
+};
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// A blocked SIGPIPE turns a write to a dead worker into EPIPE instead of
+/// killing the parent; the pending signal dies with the writer thread.
+void block_sigpipe_on_this_thread() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+[[nodiscard]] bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE et al.: the reader reports the death
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void spawn(Worker& w, const std::vector<std::string>& command) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    if (to_child[0] >= 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+    }
+    throw ExecutionError("ProcessShardExecutor: pipe() failed");
+  }
+  // Parent-side ends never leak into later workers' exec; the child's ends
+  // are re-homed onto fds 0/1 (dup2 clears FD_CLOEXEC on the duplicate).
+  for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+    set_cloexec(fd);
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const auto& arg : command) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    throw ExecutionError("ProcessShardExecutor: fork() failed");
+  }
+  if (pid == 0) {
+    // Child: wire stdin/stdout to the pipes and become the worker.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::execvp(argv[0], argv.data());
+    _exit(127);  // exec failed; the parent reports it via the exit status
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  w.pid = pid;
+  w.in_fd = to_child[1];
+  w.out_fd = from_child[0];
+}
+
+[[nodiscard]] std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "worker exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "worker killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "worker ended abnormally";
+}
+
+[[nodiscard]] bool exited_cleanly(int status) {
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+/// A shard that answered all its jobs can still have broken protocol
+/// afterwards — an extra line, a nonzero exit, a missing summary.  The
+/// delivered results are trustworthy (each was verified in arrival
+/// order), but the run must not report success: the summary counters are
+/// incomplete and the worker is not behaving as specified.  Returns the
+/// failure description, or "" for a fully clean shard.
+[[nodiscard]] std::string residual_failure(const Worker& w) {
+  if (w.completed < w.assigned->size()) return "";  // job-level errors cover it
+  if (!w.violation.empty()) {
+    return "process shard: " + w.violation + " after its last job";
+  }
+  if (!exited_cleanly(w.wait_status)) {
+    return "process shard: " + describe_exit(w.wait_status) +
+           " after completing its jobs";
+  }
+  if (!w.summary_seen) {
+    return "process shard: worker exited without a summary line";
+  }
+  return "";
+}
+
+}  // namespace
+
+void ProcessShardExecutor::validate(const std::vector<BatchJob>& jobs) const {
+  Executor::validate(jobs);
+  for (const auto& job : jobs) {
+    if (!job.spec.has_value()) {
+      throw InvalidArgument(
+          "ProcessShardExecutor: job carries no JobSpec and cannot cross a "
+          "process boundary");
+    }
+    if (job.options.collect_trace || job.options.collect_messages) {
+      throw InvalidArgument(
+          "ProcessShardExecutor: trace/message collection does not cross "
+          "the wire");
+    }
+  }
+}
+
+void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>& jobs,
+                                         const ResultCallback& on_result) const {
+  validate(jobs);
+  if (jobs.empty()) return;
+
+  // Group-affinity routing: equal groups share a worker (and therefore a
+  // plan-cache entry); within a shard, jobs keep ascending index order.
+  std::vector<std::vector<std::size_t>> assigned(shards_);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    assigned[jobs[i].spec->group % shards_].push_back(i);
+  }
+
+  detail::ReorderBuffer buffer(jobs.size());
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  {
+    // Tears every worker down at scope exit — even when a later spawn()
+    // or std::thread constructor throws mid-loop.  Order matters for the
+    // no-hang guarantee on the partial-start paths: a worker whose reader
+    // never started gets its stdout closed *first*, so a worker blocked
+    // writing results dies on EPIPE and can neither stall the writer join
+    // nor the final reap; then a never-started writer's stdin is closed
+    // (EOF tells an idle worker to exit).  On the normal path both
+    // threads exist and this is a plain join/join.
+    const ScopeExit join_workers([&workers] {
+      for (const auto& w : workers) {
+        if (!w->reader.joinable() && w->out_fd >= 0) {
+          ::close(w->out_fd);
+          w->out_fd = -1;
+        }
+        if (w->writer.joinable()) {
+          w->writer.join();
+        } else if (w->in_fd >= 0) {
+          ::close(w->in_fd);
+          w->in_fd = -1;
+        }
+        if (w->reader.joinable()) {
+          w->reader.join();  // closes out_fd and reaps the worker itself
+        } else if (w->pid >= 0) {
+          ::waitpid(w->pid, &w->wait_status, 0);
+        }
+      }
+    });
+
+    for (const auto& shard_jobs : assigned) {
+      if (shard_jobs.empty()) continue;  // never fork an idle shard
+      auto w = std::make_unique<Worker>();
+      w->assigned = &shard_jobs;
+      workers.push_back(std::move(w));  // visible to join_workers pre-spawn
+      spawn(*workers.back(), worker_command_);
+    }
+
+    for (const auto& w_ptr : workers) {
+      Worker* w = w_ptr.get();
+
+      w->writer = std::thread([w, &jobs] {
+        block_sigpipe_on_this_thread();
+        // Serialize-and-escape each distinct graph lazily, once, right
+        // here: group routing sends every repeat of a structure to one
+        // shard, so per-writer caching never duplicates work across
+        // shards — and it parallelizes the text encoding and frees it
+        // when this writer exits, instead of a serial up-front pass whose
+        // escaped copies would live until the whole batch drained.
+        std::unordered_map<const port::PortGraph*, std::string> escaped;
+        for (const std::size_t idx : *w->assigned) {
+          const auto& job = jobs[idx];
+          auto it = escaped.find(job.graph);
+          if (it == escaped.end()) {
+            const auto text = port::to_port_graph_string(*job.graph);
+            std::string esc;
+            esc.reserve(text.size() + text.size() / 16);
+            append_escaped(esc, text);
+            it = escaped.emplace(job.graph, std::move(esc)).first;
+          }
+          std::string line = encode_job_line(
+              idx, job.spec->algorithm, job.spec->param,
+              job.options.exec.threads, job.options.max_rounds, it->second);
+          line += '\n';
+          if (!write_all(w->in_fd, line)) break;
+        }
+        ::close(w->in_fd);  // stdin EOF tells the worker to summarize + exit
+        w->in_fd = -1;
+      });
+
+      w->reader = std::thread([w, &buffer, &on_result] {
+        std::string pending;
+        char chunk[1 << 16];
+        while (true) {
+          const ssize_t n = ::read(w->out_fd, chunk, sizeof chunk);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          pending.append(chunk, static_cast<std::size_t>(n));
+          std::size_t nl;
+          while ((nl = pending.find('\n')) != std::string::npos) {
+            const std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            // A poisoned worker is only drained (never block it on a full
+            // stdout pipe) — its unfinished jobs fail at EOF.
+            if (!w->violation.empty()) continue;
+            try {
+              WorkerLine parsed = decode_worker_line(line);
+              if (parsed.kind == WorkerLine::Kind::kSummary) {
+                w->summary = parsed.summary;
+                w->summary_seen = true;
+                continue;
+              }
+              // Workers execute their jobs strictly in arrival order; any
+              // other index is a protocol violation.
+              if (w->completed >= w->assigned->size() ||
+                  parsed.index != (*w->assigned)[w->completed]) {
+                w->violation = "worker answered for an unexpected job index";
+                continue;
+              }
+              const std::size_t idx = parsed.index;
+              if (parsed.kind == WorkerLine::Kind::kResult) {
+                buffer.results[idx] = std::move(parsed.result);
+              } else {
+                buffer.errors[idx] = std::make_exception_ptr(
+                    ExecutionError("process shard: " + parsed.message));
+              }
+              ++w->completed;
+              buffer.deposit_and_flush(idx, on_result);
+            } catch (const Error& e) {
+              w->violation = std::string("malformed worker line: ") + e.what();
+            }
+          }
+        }
+        ::close(w->out_fd);
+        w->out_fd = -1;
+        ::waitpid(w->pid, &w->wait_status, 0);
+
+        // The prefix rule on worker death: every job this shard never
+        // finished fails with a description of why the worker stopped.
+        if (w->completed < w->assigned->size()) {
+          std::string why = describe_exit(w->wait_status);
+          if (!w->violation.empty()) why += " (" + w->violation + ")";
+          for (std::size_t k = w->completed; k < w->assigned->size(); ++k) {
+            const std::size_t idx = (*w->assigned)[k];
+            buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
+                "process shard: " + why + " before job " +
+                std::to_string(idx) + " completed"));
+            buffer.deposit_and_flush(idx, on_result);
+          }
+        }
+      });
+    }
+  }  // join_workers: every thread joined, every worker reaped
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.jobs_shipped += jobs.size();
+    stats_.workers_spawned += workers.size();
+    for (const auto& w : workers) {
+      if (w->summary_seen) {
+        stats_.plans_compiled += w->summary.plans_compiled;
+        stats_.plan_hits += w->summary.plan_hits;
+      }
+    }
+  }
+
+  // Job-level failures win (lowest index, as documented); a shard that
+  // finished its jobs but then broke protocol or died still fails the
+  // batch — after full delivery, so the prefix rule is unaffected.
+  buffer.rethrow_failures();
+  for (const auto& w : workers) {
+    const auto residual = residual_failure(*w);
+    if (!residual.empty()) throw ExecutionError(residual);
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace eds::runtime

@@ -1,0 +1,141 @@
+// ProcessShardExecutor: batch execution sharded across worker subprocesses.
+//
+// A thread pool stops scaling at one machine's cores and shares one address
+// space; process shards are the next rung.  This backend forks N copies of
+// a worker command (normally `edsim worker`), streams each job to its shard
+// as one NDJSON line on stdin, and reads one NDJSON result line per job
+// from its stdout.  The Executor contract is preserved exactly:
+//
+//  * Deterministic job-order merge — every result line carries its job
+//    index and lands in the shared reorder buffer, so delivery is the
+//    strictly increasing prefix regardless of shard scheduling.
+//  * Prefix rule on worker death — if a shard exits (or breaks protocol)
+//    before finishing its jobs, every unfinished job of that shard fails
+//    with an ExecutionError naming the exit status; results before the
+//    lowest failure are delivered, nothing at or after it, and the
+//    remaining shards drain before the failure is rethrown.  A shard that
+//    answers all its jobs but *then* deviates — extra output, a nonzero
+//    exit, a missing summary — fails the batch too (after full delivery):
+//    its results are verified, but its counters are incomplete and the
+//    worker is out of spec, so success must not be reported.
+//  * Per-shard plan caches — each worker keeps its own PlanCache and
+//    reports compiled/hit counters in a trailing summary line; jobs are
+//    routed by JobSpec::group (the graph's structural hash), so one
+//    structure is compiled by exactly one worker and the aggregated
+//    counters match a single-process sweep (absent cache eviction).
+//
+// The wire format (`schema` 1) is NDJSON with a fixed field order — a
+// private protocol between same-version binaries, versioned so a future
+// schema can be rejected loudly instead of misparsed:
+//
+//   parent -> worker:  {"schema":1,"job":{"index":I,"algorithm":"T",
+//                       "param":P,"threads":N,"max_rounds":R,"graph":"…"}}
+//   worker -> parent:  {"schema":1,"result":{"index":I,"rounds":R,
+//                       "messages":M,"ports_served":S,"outputs":[[…],…]}}
+//                      {"schema":1,"error":{"index":I,"message":"…"}}
+//                      {"schema":1,"worker_summary":{"jobs":J,
+//                       "plans_compiled":C,"plan_hits":H}}
+//
+// Workers process jobs sequentially in arrival order and flush after every
+// line, so the parent can interleave writing and reading without deadlock;
+// a worker emits its summary on stdin EOF and exits 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/batch.hpp"
+#include "runtime/executor.hpp"
+
+namespace eds::runtime {
+
+/// The NDJSON protocol version spoken by ProcessShardExecutor and
+/// `edsim worker` (and stamped on `edsim sweep --ndjson` output).
+inline constexpr int kWireSchemaVersion = 1;
+
+/// One job as it crosses the process boundary.
+struct WireJob {
+  std::size_t index = 0;     ///< global batch index, echoed in the result
+  std::string algorithm;     ///< opaque token (algo::algorithm_from_token)
+  Port param = 0;            ///< resolved factory parameter
+  unsigned threads = 1;      ///< ExecOptions::threads inside the worker
+  Round max_rounds = 0;      ///< RunOptions::max_rounds
+  std::string graph_text;    ///< port::write_port_graph text form
+};
+
+/// Worker-side counters reported in the trailing summary line.
+struct WorkerSummary {
+  std::uint64_t jobs = 0;            ///< result/error lines emitted
+  std::uint64_t plans_compiled = 0;  ///< worker PlanCache misses
+  std::uint64_t plan_hits = 0;       ///< worker PlanCache hits
+};
+
+/// One parsed line of worker output.
+struct WorkerLine {
+  enum class Kind { kResult, kError, kSummary };
+  Kind kind = Kind::kResult;
+  std::size_t index = 0;   ///< kResult / kError
+  RunResult result;        ///< kResult (outputs + stats; no trace/log)
+  std::string message;     ///< kError
+  WorkerSummary summary;   ///< kSummary
+};
+
+/// Wire codecs.  Encoders emit exactly one line (no trailing newline);
+/// decoders are strict — any deviation from the fixed shape, including an
+/// unknown schema version, throws InvalidArgument.
+[[nodiscard]] std::string encode_wire_job(const WireJob& job);
+[[nodiscard]] WireJob decode_wire_job(const std::string& line);
+[[nodiscard]] std::string encode_wire_result(std::size_t index,
+                                             const RunResult& result);
+[[nodiscard]] std::string encode_wire_error(std::size_t index,
+                                            const std::string& message);
+[[nodiscard]] std::string encode_worker_summary(const WorkerSummary& summary);
+[[nodiscard]] WorkerLine decode_worker_line(const std::string& line);
+
+/// The process-sharding backend.  POSIX-only: constructing one on a
+/// platform without fork/pipe throws InvalidArgument.
+class ProcessShardExecutor final : public Executor {
+ public:
+  /// Aggregate counters across every run_streaming call (monotonic).
+  /// plans_compiled/plan_hits sum the worker summaries, so a sweep can
+  /// report cache effectiveness exactly as an in-process run would.
+  struct Stats {
+    std::uint64_t jobs_shipped = 0;
+    std::uint64_t workers_spawned = 0;
+    std::uint64_t plans_compiled = 0;
+    std::uint64_t plan_hits = 0;
+  };
+
+  /// `worker_command` is the argv of one shard process (e.g.
+  /// {"/path/to/edsim", "worker"}); it must speak the wire protocol above.
+  /// `shards` as in ExecOptions::threads: 0 = one shard per hardware
+  /// thread.  Workers are spawned per batch — a shard with no jobs routed
+  /// to it is never forked — so an idle executor holds no processes.
+  explicit ProcessShardExecutor(std::vector<std::string> worker_command,
+                                unsigned shards = 0);
+  ~ProcessShardExecutor() override;
+
+  /// Every job must carry a JobSpec and must not request trace or message
+  /// collection (those RunResult fields do not cross the wire).
+  void validate(const std::vector<BatchJob>& jobs) const override;
+
+  /// Throws InvalidArgument (via validate) before anything is spawned.
+  void run_streaming(const std::vector<BatchJob>& jobs,
+                     const ResultCallback& on_result) const override;
+
+  /// Shard count after resolving 0 to the hardware thread count.
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::vector<std::string> worker_command_;
+  unsigned shards_;
+  mutable std::mutex stats_mutex_;
+  mutable Stats stats_;
+};
+
+}  // namespace eds::runtime

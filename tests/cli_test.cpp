@@ -5,9 +5,17 @@
 #include "cli/cli.hpp"
 #include "graph/io.hpp"
 #include "port/io.hpp"
+#include "runtime/shard.hpp"
+#include "test_util.hpp"
 
 namespace eds::cli {
 namespace {
+
+/// Points `sweep --shards` (which forks `$EDSIM_BIN worker`) at the real
+/// edsim binary; run_cli executes in this test process, so /proc/self/exe
+/// would resolve to cli_test itself.  test::edsim_binary() exports
+/// EDSIM_BIN as a side effect, which is exactly what the sweep reads.
+bool edsim_available() { return !test::edsim_binary().empty(); }
 
 struct CliRun {
   int code = 0;
@@ -253,6 +261,8 @@ TEST(Cli, SweepNdjsonStreamsOneObjectPerJob) {
     ASSERT_FALSE(line.empty());
     EXPECT_EQ(line.front(), '{') << line;
     EXPECT_EQ(line.back(), '}') << line;
+    // Every object — jobs and summary — is versioned with the protocol.
+    EXPECT_NE(line.find("\"schema\":1"), std::string::npos) << line;
     if (line.find("\"summary\"") != std::string::npos) {
       saw_summary = true;
       EXPECT_NE(line.find("\"plans_compiled\":3"), std::string::npos) << line;
@@ -289,6 +299,107 @@ TEST(Cli, SweepNdjsonIsDeterministicAcrossThreadCounts) {
   ASSERT_EQ(a.code, 0) << a.err;
   ASSERT_EQ(b.code, 0) << b.err;
   EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SweepShardsAreByteIdenticalToThreadsAndSequential) {
+  if (!edsim_available()) GTEST_SKIP() << "edsim binary not found";
+  // The acceptance differential for the sharded backend: for each family,
+  // sequential (--threads 1), pooled (--threads 8) and process-sharded
+  // (--shards 3) sweeps must produce byte-identical NDJSON — rows,
+  // summary, plan-cache counters and all.
+  const std::vector<std::vector<std::string>> sweeps{
+      {"sweep", "grid", "--min", "9", "--max", "36", "--repeat", "2",
+       "--seed", "3", "--ndjson"},
+      {"sweep", "powerlaw", "--min", "16", "--max", "64", "--seed", "5",
+       "--ndjson"},
+      {"sweep", "portgraph", "--min", "4", "--max", "16", "--d", "3",
+       "--seed", "11", "--repeat", "2", "--ndjson"},
+  };
+  for (const auto& base : sweeps) {
+    auto sequential = base;
+    sequential.insert(sequential.end(), {"--threads", "1"});
+    auto pooled = base;
+    pooled.insert(pooled.end(), {"--threads", "8"});
+    auto sharded = base;
+    sharded.insert(sharded.end(), {"--shards", "3"});
+
+    const auto a = invoke(sequential);
+    const auto b = invoke(pooled);
+    const auto c = invoke(sharded);
+    ASSERT_EQ(a.code, 0) << base[1] << ": " << a.err;
+    ASSERT_EQ(b.code, 0) << base[1] << ": " << b.err;
+    ASSERT_EQ(c.code, 0) << base[1] << ": " << c.err;
+    EXPECT_EQ(a.out, b.out) << base[1];
+    EXPECT_EQ(a.out, c.out) << base[1] << ": shards must not change a byte";
+  }
+}
+
+TEST(Cli, SweepShardsReportsADeadWorkerCommand) {
+  // /bin/false exits immediately without speaking the protocol: the sweep
+  // fails cleanly (exit 1, prefix rule) instead of hanging.
+  const auto run = invoke({"sweep", "cycle", "--min", "8", "--max", "8",
+                           "--shards", "2", "--worker-bin", "/bin/false"});
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("sweep:"), std::string::npos) << run.err;
+}
+
+TEST(Cli, WorkerSpeaksTheWireProtocol) {
+  // Two jobs on the same 2-node structure: two result lines (flushed in
+  // order) plus a summary showing one compiled plan and one cache hit.
+  runtime::WireJob job;
+  job.algorithm = "all-edges";
+  job.param = 0;
+  job.threads = 1;
+  job.max_rounds = 100;
+  job.graph_text = "ports 2\ndeg 1 1\nconn 0 1 1 1\n";
+  job.index = 0;
+  const auto line0 = runtime::encode_wire_job(job);
+  job.index = 1;
+  const auto line1 = runtime::encode_wire_job(job);
+
+  const auto run = invoke({"worker"}, line0 + "\n" + line1 + "\n");
+  ASSERT_EQ(run.code, 0) << run.err;
+  std::istringstream lines(run.out);
+  std::string line;
+  std::vector<runtime::WorkerLine> parsed;
+  while (std::getline(lines, line)) {
+    parsed.push_back(runtime::decode_worker_line(line));
+  }
+  ASSERT_EQ(parsed.size(), 3u) << run.out;
+  ASSERT_EQ(parsed[0].kind, runtime::WorkerLine::Kind::kResult);
+  EXPECT_EQ(parsed[0].index, 0u);
+  // all-edges: both endpoints select their single port.
+  const std::vector<std::vector<runtime::Port>> want{{1}, {1}};
+  EXPECT_EQ(parsed[0].result.outputs, want);
+  ASSERT_EQ(parsed[1].kind, runtime::WorkerLine::Kind::kResult);
+  EXPECT_EQ(parsed[1].index, 1u);
+  ASSERT_EQ(parsed[2].kind, runtime::WorkerLine::Kind::kSummary);
+  EXPECT_EQ(parsed[2].summary.jobs, 2u);
+  EXPECT_EQ(parsed[2].summary.plans_compiled, 1u);
+  EXPECT_EQ(parsed[2].summary.plan_hits, 1u);
+}
+
+TEST(Cli, WorkerReportsJobFailuresAndDiesOnGarbage) {
+  runtime::WireJob job;
+  job.algorithm = "no-such-algorithm";
+  job.graph_text = "ports 2\ndeg 1 1\nconn 0 1 1 1\n";
+  job.max_rounds = 10;
+  const auto run = invoke({"worker"}, runtime::encode_wire_job(job) + "\n");
+  ASSERT_EQ(run.code, 0) << "a failed job is an error line, not a dead worker";
+  EXPECT_NE(run.out.find("\"error\""), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("\"worker_summary\""), std::string::npos);
+
+  EXPECT_EQ(invoke({"worker"}, "garbage\n").code, 2);
+
+  // The --fail-after test hook: one result, then a nonzero exit with no
+  // summary — exactly what the worker-death tests simulate with.
+  runtime::WireJob ok = job;
+  ok.algorithm = "all-edges";
+  const auto wire = runtime::encode_wire_job(ok);
+  const auto killed =
+      invoke({"worker", "--fail-after", "1"}, wire + "\n" + wire + "\n");
+  EXPECT_EQ(killed.code, 7);
+  EXPECT_EQ(killed.out.find("\"worker_summary\""), std::string::npos);
 }
 
 TEST(Cli, SweepErrors) {

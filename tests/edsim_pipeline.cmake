@@ -1,0 +1,34 @@
+# Portable end-to-end smoke: generate the Petersen graph, solve it with the
+# odd-regular algorithm, and verify the solution is edge-dominating against
+# the exact optimum.  Runs as `cmake -DEDSIM=<path> -P edsim_pipeline.cmake`,
+# so it needs no POSIX shell — execute_process pipes the two commands
+# directly (this replaced an `sh -c` one-liner that could not run on
+# shell-less targets).
+if(NOT DEFINED EDSIM)
+  message(FATAL_ERROR "pass -DEDSIM=<path to the edsim binary>")
+endif()
+
+execute_process(
+  COMMAND "${EDSIM}" generate petersen
+  COMMAND "${EDSIM}" solve --algorithm odd-regular --param 3 --exact --seed 7
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULTS_VARIABLE codes
+)
+
+message(STATUS "pipeline output:\n${out}")
+
+# Both stages must exit 0: a crash (or sanitizer abort) in either half of
+# the pipe fails the test even if the final output happens to look right.
+foreach(code IN LISTS codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "pipeline stage failed (exit codes: ${codes})\n${err}")
+  endif()
+endforeach()
+
+if(NOT out MATCHES "edge-dominating: yes")
+  message(FATAL_ERROR "solution is not edge-dominating:\n${out}")
+endif()
+if(NOT out MATCHES "optimum: 3")
+  message(FATAL_ERROR "exact optimum missing or wrong:\n${out}")
+endif()

@@ -84,15 +84,32 @@ def _fmt_delta(old, new):
 
 def compare(old_path: str, new_path: str, threshold: float) -> int:
     """Prints a markdown table of per-benchmark/per-counter deltas; returns
-    2 when any benchmark's ns_per_op regressed by more than `threshold`."""
+    2 when any benchmark's ns_per_op regressed by more than `threshold`.
+
+    Wall-time across different hardware is not comparable, so the gate is
+    only authoritative when both files were produced on the same CPU count
+    (the cheapest context signal that survives CI's anonymized hostnames);
+    otherwise regressions are reported but the exit code stays 0, and the
+    gate becomes blocking once the committed snapshot is regenerated on
+    hardware matching the runner's."""
     with open(old_path) as f:
-        old = {b["name"]: b for b in json.load(f)["benchmarks"]}
+        old_report = json.load(f)
     with open(new_path) as f:
-        new = {b["name"]: b for b in json.load(f)["benchmarks"]}
+        new_report = json.load(f)
+    old = {b["name"]: b for b in old_report["benchmarks"]}
+    new = {b["name"]: b for b in new_report["benchmarks"]}
+    old_cpus = (old_report.get("context") or {}).get("num_cpus")
+    new_cpus = (new_report.get("context") or {}).get("num_cpus")
+    comparable = old_cpus is not None and old_cpus == new_cpus
 
     regressions = []
     print(f"## Benchmark comparison (threshold {threshold * 100:.0f}%)")
     print()
+    if not comparable:
+        print(f"**Baseline is from different hardware "
+              f"(num_cpus {old_cpus} vs {new_cpus}): wall-time deltas are "
+              f"informational, not gating.**")
+        print()
     print("| benchmark | old ns/op | new ns/op | delta | counter deltas |")
     print("|---|---:|---:|---:|---|")
     for name in sorted(set(old) | set(new)):
@@ -128,7 +145,7 @@ def compare(old_path: str, new_path: str, threshold: float) -> int:
     if regressions:
         print(f"**{len(regressions)} regression(s) beyond "
               f"{threshold * 100:.0f}%:** {', '.join(regressions)}")
-        return 2
+        return 2 if comparable else 0
     print("No wall-time regressions beyond the threshold.")
     return 0
 
