@@ -50,6 +50,35 @@ class AllocPressure {
   eds::runtime::EngineAllocStats before_;
 };
 
+/// Exports the engine's per-round stage split — exchange (fused
+/// send + direct partner-inbox delivery) vs receive (+ merge) — as
+/// per-iteration nanosecond counters.  Profiling is a process-wide engine
+/// toggle; the helper scopes it to this benchmark so every other
+/// benchmark keeps the timestamp-free hot loop.
+class StageSplit {
+ public:
+  StageSplit() {
+    eds::runtime::engine_stage_profiling(true);
+    before_ = eds::runtime::engine_stage_stats();
+  }
+  ~StageSplit() { eds::runtime::engine_stage_profiling(false); }
+  StageSplit(const StageSplit&) = delete;
+  StageSplit& operator=(const StageSplit&) = delete;
+
+  void export_into(benchmark::State& state) const {
+    const auto after = eds::runtime::engine_stage_stats();
+    state.counters["exchange_ns"] = benchmark::Counter(
+        static_cast<double>(after.exchange_ns - before_.exchange_ns),
+        benchmark::Counter::kAvgIterations);
+    state.counters["receive_ns"] = benchmark::Counter(
+        static_cast<double>(after.receive_ns - before_.receive_ns),
+        benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  eds::runtime::EngineStageStats before_;
+};
+
 void BM_PortOne(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   eds::Rng rng(1);
@@ -142,12 +171,14 @@ void BM_Engine100k(benchmark::State& state) {
   exec.threads = threads;
   std::uint64_t rounds = 0;
   const AllocPressure alloc;
+  const StageSplit split;
   for (auto _ : state) {
     auto outcome = eds::algo::run_algorithm(
         pg, eds::algo::Algorithm::kBoundedDegree, 4, exec);
     rounds = outcome.stats.rounds;
     benchmark::DoNotOptimize(outcome.solution.size());
   }
+  split.export_into(state);
   alloc.export_into(state);
   state.counters["n"] = static_cast<double>(g.num_nodes());
   state.counters["rounds"] = static_cast<double>(rounds);
@@ -157,6 +188,37 @@ void BM_Engine100k(benchmark::State& state) {
                           static_cast<std::int64_t>(rounds));
 }
 BENCHMARK(BM_Engine100k)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+
+void BM_EngineDense(benchmark::State& state) {
+  // High-degree regular graph: at d = 64 a node's whole round is message
+  // traffic, the case where the retired route stage's extra
+  // total_ports-sized Message copy per round cost the most.  DoubleCover
+  // runs 2d rounds of near-trivial per-node logic, so the measurement is
+  // almost pure transport; the exchange/receive split shows where the
+  // remaining time goes.
+  const auto d = static_cast<eds::port::Port>(state.range(0));
+  eds::Rng rng(9);
+  const auto g = eds::graph::random_regular(512, d, rng);
+  const auto pg = eds::port::with_random_ports(g, rng);
+  std::uint64_t rounds = 0;
+  const AllocPressure alloc;
+  const StageSplit split;
+  for (auto _ : state) {
+    auto outcome = eds::algo::run_algorithm(
+        pg, eds::algo::Algorithm::kDoubleCover, d);
+    rounds = outcome.stats.rounds;
+    benchmark::DoNotOptimize(outcome.stats.messages_sent);
+  }
+  split.export_into(state);
+  alloc.export_into(state);
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["degree"] = static_cast<double>(d);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges() * 2) *
+                          static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_EngineDense)->Arg(16)->Arg(64);
 
 void BM_BatchSweep(benchmark::State& state) {
   // Batch throughput: 32 independent jobs (random 4-regular, n = 512)

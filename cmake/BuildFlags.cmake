@@ -10,11 +10,17 @@
 #   EDS_UBSAN   (OFF) - UndefinedBehaviorSanitizer on everything
 #   EDS_TSAN    (OFF) - ThreadSanitizer on everything (for the engine's
 #                       sharded round loop; incompatible with EDS_ASAN)
+#   EDS_NATIVE  (OFF) - compile for the build host's CPU (-march=native):
+#                       local perf numbers at full hardware speed without
+#                       patching the build.  Never the default — the
+#                       binaries stop being portable, and committed bench
+#                       snapshots should stay comparable across machines.
 
 option(EDS_WERROR "Treat compiler warnings as errors" ON)
 option(EDS_ASAN   "Enable AddressSanitizer"           OFF)
 option(EDS_UBSAN  "Enable UndefinedBehaviorSanitizer" OFF)
 option(EDS_TSAN   "Enable ThreadSanitizer"            OFF)
+option(EDS_NATIVE "Tune codegen for the build host (-march=native)" OFF)
 
 if(EDS_TSAN AND EDS_ASAN)
   message(FATAL_ERROR "EDS_TSAN and EDS_ASAN cannot be combined")
@@ -24,6 +30,25 @@ add_library(eds_build_flags INTERFACE)
 target_compile_options(eds_build_flags INTERFACE -Wall -Wextra -Wshadow -Wpedantic)
 if(EDS_WERROR)
   target_compile_options(eds_build_flags INTERFACE -Werror)
+endif()
+
+if(EDS_NATIVE)
+  include(CheckCXXCompilerFlag)
+  check_cxx_compiler_flag("-march=native" EDS_HAVE_MARCH_NATIVE)
+  if(EDS_HAVE_MARCH_NATIVE)
+    target_compile_options(eds_build_flags INTERFACE -march=native)
+  else()
+    # Some toolchains (e.g. clang on certain AArch64 targets) spell it
+    # -mcpu=native; fail loudly rather than silently benchmarking generic
+    # codegen under a flag that claims otherwise.
+    check_cxx_compiler_flag("-mcpu=native" EDS_HAVE_MCPU_NATIVE)
+    if(EDS_HAVE_MCPU_NATIVE)
+      target_compile_options(eds_build_flags INTERFACE -mcpu=native)
+    else()
+      message(FATAL_ERROR "EDS_NATIVE=ON but the compiler accepts neither "
+                          "-march=native nor -mcpu=native")
+    endif()
+  endif()
 endif()
 
 set(EDS_SANITIZER_FLAGS "")

@@ -498,6 +498,9 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
         runtime::JobSpec spec;
         spec.algorithm = algo::algorithm_token(algorithm);
         spec.param = resolved_param;
+        // One O(ports) hash walk per instance, shared by all --repeat
+        // jobs below (the simple-graph families get the same guarantee
+        // from prepare_batch's StructuralHashMemo).
         spec.group = runtime::structural_hash(g);
         for (std::size_t r = 0; r < repeat; ++r) {
           jobs.push_back({&g, factory.get(), options, spec});

@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -45,15 +46,19 @@ namespace {
 struct alignas(64) ShardScratch {
   std::uint64_t messages_sent = 0;
   std::uint64_t ports_served = 0;
-  std::uint64_t round_messages = 0;
   std::vector<DeliveredMessage> log;
   std::vector<std::size_t> newly_halted;
+  /// One node's outgoing messages, staged here so the program sees the
+  /// contiguous span the NodeProgram API promises, then scattered straight
+  /// into the partners' inbox slots.  Max-degree sized and reused across
+  /// nodes, rounds and runs — the only send-side buffer left after the
+  /// outbox's elimination.
+  std::vector<Message> stage;
   std::exception_ptr error;
 
   void reset() noexcept {
     messages_sent = 0;
     ports_served = 0;
-    round_messages = 0;
     log.clear();
     newly_halted.clear();
     error = nullptr;
@@ -71,13 +76,17 @@ std::atomic<std::uint64_t> g_ws_reuses{0};
 std::atomic<std::uint64_t> g_ws_growths{0};
 std::atomic<std::uint64_t> g_ws_bytes{0};
 
+std::atomic<bool> g_stage_profile{false};
+std::atomic<std::uint64_t> g_exchange_ns{0};
+std::atomic<std::uint64_t> g_receive_ns{0};
+std::atomic<std::uint64_t> g_profiled_rounds{0};
+
 /// The pooled message transport: every buffer the round loop writes lives
 /// here and is *assigned* (size + contents reset, capacity retained) at the
 /// start of each run instead of being reallocated.  One workspace exists
 /// per thread, so sequential runs, BatchRunner jobs (one job per pool lane)
 /// and BatchStream drivers each reuse their lane's arena run after run.
 struct EngineWorkspace {
-  std::vector<Message> outbox;
   std::vector<Message> inbox;
   std::vector<char> halted;
   std::vector<std::size_t> active;
@@ -96,25 +105,26 @@ struct EngineWorkspace {
   }
 
   [[nodiscard]] std::size_t footprint() const noexcept {
-    std::size_t log_bytes = 0;
+    std::size_t scratch_bytes = 0;
     for (const auto& sc : scratch) {
-      log_bytes += sc.log.capacity() * sizeof(DeliveredMessage) +
-                   sc.newly_halted.capacity() * sizeof(std::size_t);
+      scratch_bytes += sc.log.capacity() * sizeof(DeliveredMessage) +
+                       sc.newly_halted.capacity() * sizeof(std::size_t) +
+                       sc.stage.capacity() * sizeof(Message);
     }
-    return outbox.capacity() * sizeof(Message) +
-           inbox.capacity() * sizeof(Message) + halted.capacity() +
+    return inbox.capacity() * sizeof(Message) + halted.capacity() +
            active.capacity() * sizeof(std::size_t) +
-           scratch.capacity() * sizeof(ShardScratch) + log_bytes;
+           scratch.capacity() * sizeof(ShardScratch) + scratch_bytes;
   }
 
   /// Resets the buffers for a run over `n` nodes / `total_ports` ports with
   /// `lanes` shards, growing capacity only when this lane has never seen a
-  /// graph this large.
+  /// graph this large.  The fused exchange keeps a single message buffer:
+  /// one inbox assign is the whole per-run message-lane reset (the old
+  /// pipeline cleared an equally sized outbox as well).
   void prepare(std::size_t n, std::size_t total_ports, unsigned lanes) {
-    const bool grows = total_ports > outbox.capacity() ||
+    const bool grows = total_ports > inbox.capacity() ||
                        n > halted.capacity() || n > active.capacity() ||
                        lanes > scratch.size();
-    outbox.assign(total_ports, kSilence);
     inbox.assign(total_ports, kSilence);
     halted.assign(n, 0);
     active.clear();
@@ -181,6 +191,18 @@ EngineAllocStats engine_alloc_stats() noexcept {
   return stats;
 }
 
+void engine_stage_profiling(bool enabled) noexcept {
+  g_stage_profile.store(enabled, std::memory_order_relaxed);
+}
+
+EngineStageStats engine_stage_stats() noexcept {
+  EngineStageStats stats;
+  stats.exchange_ns = g_exchange_ns.load(std::memory_order_relaxed);
+  stats.receive_ns = g_receive_ns.load(std::memory_order_relaxed);
+  stats.profiled_rounds = g_profiled_rounds.load(std::memory_order_relaxed);
+  return stats;
+}
+
 RunResult run_plan(const ExecutionPlan& plan,
                    std::vector<std::unique_ptr<NodeProgram>>& programs,
                    const RunOptions& options, const std::string& name,
@@ -196,7 +218,6 @@ RunResult run_plan(const ExecutionPlan& plan,
   const WorkspaceLease lease;
   EngineWorkspace& ws = *lease;
   ws.prepare(n, plan.total_ports(), lanes);
-  std::vector<Message>& outbox = ws.outbox;
   std::vector<Message>& inbox = ws.inbox;
 
   // The worklist: indices of non-halted nodes, always sorted ascending (it
@@ -220,6 +241,13 @@ RunResult run_plan(const ExecutionPlan& plan,
 
   std::vector<ShardScratch>& scratch = ws.scratch;
 
+  // Stage profiling: the flag is sampled once per run, so a disabled run
+  // takes no timestamps at all (two clock reads per round otherwise).
+  const bool profile = g_stage_profile.load(std::memory_order_relaxed);
+  using ProfileClock = std::chrono::steady_clock;
+  std::uint64_t exchange_ns = 0;
+  std::uint64_t receive_ns = 0;
+
   Round round = 0;
   while (!active.empty()) {
     ++round;
@@ -238,25 +266,47 @@ RunResult run_plan(const ExecutionPlan& plan,
     };
     for (std::size_t s = 0; s < shards; ++s) scratch[s].reset();
 
-    // Send: every active node's ports default to silence each round — a
-    // program sends only by writing this round (stale messages must not
-    // "ghost" into later ones).  Halted nodes' slots were silenced when
-    // they halted and are never written again.
+    ProfileClock::time_point stage_start;
+    if (profile) stage_start = ProfileClock::now();
+
+    // Exchange (fused send + delivery): every active node stages its
+    // outgoing messages in the shard-local buffer — defaulted to silence
+    // each round, so a program sends only by writing this round and stale
+    // messages never "ghost" into later ones — then writes each one
+    // straight into its partner's inbox slot: the message sent on port
+    // (v, i) is received from port (u, j) where p(v, i) = (u, j); fixed
+    // points deliver to the sender itself.  Race-free under sharding:
+    // each inbox slot has exactly one partner port (p is an involution),
+    // hence exactly one writer, and no shard *reads* the inbox until the
+    // barrier below.  Inbox slots whose feeding partner halted were
+    // silenced at halt time and are never written again.
     policy.for_each_shard(shards, [&](std::size_t s) {
       ShardScratch& sc = scratch[s];
       try {
         std::uint64_t ports_served = 0;
         std::uint64_t messages_sent = 0;
+        std::vector<Message>& stage = sc.stage;
         const std::size_t end = shard_begin(s + 1);
         for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
           const std::size_t v = active[idx];
           const Port deg = plan.degree(v);
-          const std::span<Message> out(&outbox[plan.offset(v)], deg);
-          std::fill(out.begin(), out.end(), kSilence);
-          programs[v]->send(round, out);
+          stage.assign(deg, kSilence);
+          programs[v]->send(round, std::span<Message>(stage.data(), deg));
           ports_served += deg;
-          for (const auto& m : out) {
-            if (!m.is_silence()) ++messages_sent;
+          const std::size_t off = plan.offset(v);
+          for (Port i = 1; i <= deg; ++i) {
+            const std::size_t q = off + i - 1;
+            const Message& m = stage[i - 1];
+            inbox[plan.partner_flat(q)] = m;
+            if (!m.is_silence()) {
+              ++messages_sent;
+              if (options.collect_messages) {
+                sc.log.push_back({round,
+                                  {static_cast<port::NodeId>(v), i},
+                                  plan.partner_ref(q),
+                                  m});
+              }
+            }
           }
         }
         sc.ports_served = ports_served;
@@ -267,41 +317,14 @@ RunResult run_plan(const ExecutionPlan& plan,
     });
     rethrow_first(scratch, shards);
 
-    // Route: the message sent on port (v, i) is received from port (u, j)
-    // where p(v, i) = (u, j); fixed points deliver to the sender itself.
-    // Race-free under sharding: each inbox slot has exactly one partner
-    // port (p is an involution), hence exactly one writer.  Inbox slots
-    // whose partner is halted were silenced at halt time and stay silent.
-    policy.for_each_shard(shards, [&](std::size_t s) {
-      ShardScratch& sc = scratch[s];
-      try {
-        std::uint64_t round_messages = 0;
-        const std::size_t end = shard_begin(s + 1);
-        for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
-          const std::size_t v = active[idx];
-          const Port deg = plan.degree(v);
-          const std::size_t off = plan.offset(v);
-          for (Port i = 1; i <= deg; ++i) {
-            const std::size_t q = off + i - 1;
-            const Message& m = outbox[q];
-            inbox[plan.partner_flat(q)] = m;
-            if (!m.is_silence()) {
-              ++round_messages;
-              if (options.collect_messages) {
-                sc.log.push_back({round,
-                                  {static_cast<port::NodeId>(v), i},
-                                  plan.partner_ref(q),
-                                  m});
-              }
-            }
-          }
-        }
-        sc.round_messages = round_messages;
-      } catch (...) {
-        sc.error = std::current_exception();
-      }
-    });
-    rethrow_first(scratch, shards);
+    if (profile) {
+      const auto now = ProfileClock::now();
+      exchange_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - stage_start)
+              .count());
+      stage_start = now;
+    }
 
     // Receive: may flip nodes to halted; the flips are recorded per shard
     // and applied after the barrier so the worklist is never mutated
@@ -323,14 +346,18 @@ RunResult run_plan(const ExecutionPlan& plan,
     });
     rethrow_first(scratch, shards);
 
-    // Merge, strictly in shard order.
+    // Merge, strictly in shard order.  The exchange stage counts each
+    // non-silence message exactly once, at the moment it is delivered, so
+    // one per-shard counter feeds both the aggregate messages_sent and the
+    // per-round trace (the old pipeline counted the same slots twice, once
+    // in send and once in route).
     std::uint64_t round_messages = 0;
     bool any_halted = false;
     for (std::size_t s = 0; s < shards; ++s) {
       const ShardScratch& sc = scratch[s];
       stats.messages_sent += sc.messages_sent;
       stats.ports_served += sc.ports_served;
-      round_messages += sc.round_messages;
+      round_messages += sc.messages_sent;
       if (options.collect_messages) {
         result.message_log.insert(result.message_log.end(), sc.log.begin(),
                                   sc.log.end());
@@ -338,15 +365,15 @@ RunResult run_plan(const ExecutionPlan& plan,
       for (const std::size_t v : sc.newly_halted) {
         any_halted = true;
         halted[v] = 1;
-        // A halted node sends silence forever: silence its outbox slots
-        // (never written again) and the inbox slots they feed (never
-        // routed again — their sender left the worklist).
+        // A halted node sends silence forever.  With no outbox to clear,
+        // the whole bookkeeping is one write per port: silence the inbox
+        // slots its ports feed — the node left the worklist, so the fused
+        // exchange never writes them again and its partners keep reading
+        // silence for the rest of the run.
         const Port deg = plan.degree(v);
         const std::size_t off = plan.offset(v);
         for (Port i = 1; i <= deg; ++i) {
-          const std::size_t q = off + i - 1;
-          outbox[q] = kSilence;
-          inbox[plan.partner_flat(q)] = kSilence;
+          inbox[plan.partner_flat(off + i - 1)] = kSilence;
         }
       }
     }
@@ -357,6 +384,19 @@ RunResult run_plan(const ExecutionPlan& plan,
     if (options.collect_trace) {
       result.trace.push_back({round, round_messages, n - active.size()});
     }
+
+    if (profile) {
+      receive_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              ProfileClock::now() - stage_start)
+              .count());
+    }
+  }
+
+  if (profile) {
+    g_exchange_ns.fetch_add(exchange_ns, std::memory_order_relaxed);
+    g_receive_ns.fetch_add(receive_ns, std::memory_order_relaxed);
+    g_profiled_rounds.fetch_add(round, std::memory_order_relaxed);
   }
 
   stats.rounds = round;

@@ -9,14 +9,19 @@
 //    arrays (degrees, port offsets, the involution as flat indices), so the
 //    inner loops never pay PortGraph's bounds-checked lookups.
 //
-//  * Policies schedule the three per-round stages (send, route, receive)
-//    over an *active-node worklist*: nodes that halted are removed, so a
-//    long tail of halted nodes costs zero per round.  SequentialPolicy runs
-//    the stages inline; ParallelPolicy shards the worklist into contiguous
-//    ranges across a thread pool with a barrier between stages.  The stages
-//    are data-parallel by construction: outbox slots are written only by
-//    their owning sender, and each inbox slot is written only by its unique
-//    partner port (p is an involution), so shards never contend.
+//  * Policies schedule the two per-round stages (exchange, receive) over
+//    an *active-node worklist*: nodes that halted are removed, so a long
+//    tail of halted nodes costs zero per round.  SequentialPolicy runs the
+//    stages inline; ParallelPolicy shards the worklist into contiguous
+//    ranges across a thread pool with one barrier between the stages.  The
+//    exchange stage is *fused*: a sender stages its messages in a tiny
+//    per-shard buffer and writes them straight into the partner's inbox
+//    slot — plan.partner_flat(q) is known at send time, and each inbox
+//    slot has exactly one writing partner port (p is an involution), so
+//    shards never contend.  There is no outbox array and no routing pass:
+//    the fusion removed a full total_ports-sized Message copy per round
+//    and one barrier per round relative to the original send/route/receive
+//    pipeline.
 //
 // Hard guarantee, enforced by differential tests: every policy produces
 // bit-identical RunResults — outputs, stats, trace, and message-log order.
@@ -156,11 +161,12 @@ class ParallelPolicy final : public ExecutionPolicy {
 /// `policy`.  This is the engine core under run_synchronous; call it
 /// directly to reuse a plan or a policy (and its thread pool) across runs.
 ///
-/// Message transport is pooled: the outbox/inbox lanes, the worklist and
-/// the per-shard scratch all live in a per-thread workspace that is reset
-/// (not reallocated) between rounds and reused across runs, so repeated
-/// executions on one lane perform no per-run buffer allocation once the
-/// workspace has grown to the largest graph seen.
+/// Message transport is pooled: the single inbox lane (the fused exchange
+/// has no outbox), the worklist and the per-shard scratch all live in a
+/// per-thread workspace that is reset (not reallocated) between rounds and
+/// reused across runs, so repeated executions on one lane perform no
+/// per-run buffer allocation once the workspace has grown to the largest
+/// graph seen.
 [[nodiscard]] RunResult run_plan(
     const ExecutionPlan& plan,
     std::vector<std::unique_ptr<NodeProgram>>& programs,
@@ -182,5 +188,27 @@ struct EngineAllocStats {
 
 /// Snapshot of the pooled-transport counters.
 [[nodiscard]] EngineAllocStats engine_alloc_stats() noexcept;
+
+/// Round-stage wall-time split, accumulated by run_plan while profiling is
+/// enabled (process-wide, monotonic).  The counters time the two stages of
+/// the fused round loop: `exchange_ns` covers send + direct partner-inbox
+/// delivery (including the inter-stage barrier under ParallelPolicy),
+/// `receive_ns` covers receive plus the shard-order merge and worklist
+/// maintenance.  bench_micro_runtime exports the deltas per benchmark.
+struct EngineStageStats {
+  std::uint64_t exchange_ns = 0;       ///< fused send+deliver stage
+  std::uint64_t receive_ns = 0;        ///< receive stage + round merge
+  std::uint64_t profiled_rounds = 0;   ///< rounds timed while enabled
+
+  [[nodiscard]] bool operator==(const EngineStageStats&) const = default;
+};
+
+/// Toggles stage profiling (default off).  The hot loop reads the flag
+/// once per run, so enabling it mid-run affects the *next* run; when off,
+/// the round loop takes no timestamps at all.
+void engine_stage_profiling(bool enabled) noexcept;
+
+/// Snapshot of the stage-timing counters.
+[[nodiscard]] EngineStageStats engine_stage_stats() noexcept;
 
 }  // namespace eds::runtime

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 
 namespace eds::runtime {
 
@@ -19,6 +20,16 @@ struct Message {
   [[nodiscard]] bool operator==(const Message&) const = default;
   [[nodiscard]] bool is_silence() const noexcept { return tag == 0; }
 };
+
+// The engine's fused exchange stage scatters Messages from concurrent
+// shards into distinct slots of one shared inbox array (one writer per
+// slot, by the port involution).  That is race-free for a trivially
+// copyable value type whose assignment touches only its own bytes — keep
+// Message that way, or the single-buffer transport loses its safety
+// argument.
+static_assert(std::is_trivially_copyable_v<Message>,
+              "Message must stay trivially copyable: the engine writes "
+              "Messages into shared inbox slots from concurrent shards");
 
 /// The empty message.
 inline constexpr Message kSilence{};

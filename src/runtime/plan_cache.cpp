@@ -27,6 +27,12 @@ std::uint64_t structural_hash(const port::PortGraph& g) {
   return state;
 }
 
+std::uint64_t StructuralHashMemo::get(const port::PortGraph& g) {
+  const auto [it, inserted] = hashes_.try_emplace(&g, 0);
+  if (inserted) it->second = structural_hash(g);
+  return it->second;
+}
+
 PlanCache::PlanCache(std::size_t capacity, std::size_t max_bytes)
     : capacity_(std::max<std::size_t>(capacity, 1)), max_bytes_(max_bytes) {}
 

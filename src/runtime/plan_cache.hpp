@@ -109,4 +109,19 @@ class PlanCache {
 /// verification in the cache); equal structures always hash equal.
 [[nodiscard]] std::uint64_t structural_hash(const port::PortGraph& g);
 
+/// Memoizes structural_hash by graph *object* for the duration of one
+/// batch-construction pass: a `--repeat R` sweep enqueues the same
+/// instance R times, and the O(ports) hash walk should be paid once per
+/// instance, not once per job.  Keyed by address, so the memo is valid
+/// only while the graphs outlive it (PortGraphs are immutable, so a live
+/// address can never alias a different structure).  Not thread-safe;
+/// batch construction is single-threaded by design.
+class StructuralHashMemo {
+ public:
+  [[nodiscard]] std::uint64_t get(const port::PortGraph& g);
+
+ private:
+  std::unordered_map<const port::PortGraph*, std::uint64_t> hashes_;
+};
+
 }  // namespace eds::runtime

@@ -34,7 +34,7 @@ class Executor;
 /// never affects results — every combination is bit-identical by
 /// differential test.
 struct ExecOptions {
-  /// Lanes to execute each round's send/route/receive stages on:
+  /// Lanes to execute each round's exchange/receive stages on:
   /// 1 = SequentialPolicy (default), >1 = ParallelPolicy with that many
   /// lanes, 0 = ParallelPolicy with one lane per hardware thread.  At the
   /// batch level (`algo::run_batch`) this is instead the number of

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "algo/bounded_degree.hpp"
 #include "algo/double_cover.hpp"
@@ -219,6 +220,160 @@ TEST(Engine, DifferentialOnRandomMultigraphs) {
     expect_all_policies_match(g, algo::DoubleCoverFactory(max_degree),
                               "random multigraph");
   }
+}
+
+/// Relay program: each round forwards exactly what it received the round
+/// before (seeded with a port-distinct message), and halts after
+/// `base + degree` rounds — so nodes of different degrees halt mid-run at
+/// different times while their partners keep relaying.  This is the
+/// adversarial probe for the fused exchange's silence bookkeeping: a
+/// halted node's feed slots are silenced exactly once, at halt time, and
+/// if a stale message ever "ghosted" past that point the relay would
+/// re-send it, diverging message counts, logs and traces from the
+/// seed-semantics oracle.
+class RelayProgram final : public NodeProgram {
+ public:
+  explicit RelayProgram(Round base) : base_(base) {}
+  void start(Port degree) override {
+    degree_ = degree;
+    last_.assign(degree, kSilence);
+    for (Port i = 1; i <= degree; ++i) {
+      last_[i - 1] = msg(7, static_cast<std::int32_t>(i));
+    }
+  }
+  void send(Round, std::span<Message> out) override {
+    std::copy(last_.begin(), last_.end(), out.begin());
+  }
+  void receive(Round round, std::span<const Message> in) override {
+    last_.assign(in.begin(), in.end());
+    if (round >= base_ + degree_) halted_ = true;
+  }
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<Port> output() const override { return {}; }
+
+ private:
+  Round base_;
+  Port degree_ = 0;
+  std::vector<Message> last_;
+  bool halted_ = false;
+};
+
+class RelayFactory final : public ProgramFactory {
+ public:
+  explicit RelayFactory(Round base) : base_(base) {}
+  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<RelayProgram>(base_);
+  }
+  [[nodiscard]] std::string name() const override { return "relay"; }
+
+ private:
+  Round base_;
+};
+
+TEST(Engine, FusedExchangeOnLoopsWithStaggeredHalts) {
+  // A handcrafted multigraph covering every involution case the fused
+  // exchange must deliver directly: an undirected self-loop (two ports of
+  // one node), directed self-loops (fixed points, where a node receives
+  // its own message), parallel edges, a degree-0 node, and ordinary edges
+  // between nodes of different degrees — which, under RelayFactory, halt
+  // mid-run at different rounds.
+  PortGraphBuilder b(std::vector<Port>{3, 2, 4, 1, 0, 2});
+  b.connect({0, 1}, {0, 2});  // undirected loop at node 0
+  b.fix({0, 3});              // directed loop at node 0
+  b.connect({1, 1}, {2, 1});  // parallel edges between 1 and 2
+  b.connect({1, 2}, {2, 2});
+  b.connect({2, 3}, {3, 1});
+  b.fix({2, 4});              // directed loop at node 2
+  b.connect({5, 1}, {5, 2});  // undirected loop at node 5
+  const auto g = b.build();
+
+  for (const Round base : {1u, 2u, 5u}) {
+    expect_all_policies_match(g, RelayFactory(base), "loops + stagger");
+  }
+}
+
+TEST(Engine, FusedExchangeOnRandomMultigraphsWithStaggeredHalts) {
+  // Random involutions (loops, parallel edges, irregular degrees) under
+  // the relay probe: staggered halts on the full generality of the model.
+  auto rng = test::make_rng(0xE64);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Port> degrees(16);
+    for (auto& d : degrees) d = static_cast<Port>(rng.below(6));
+    const auto g = port::random_port_graph(degrees, rng);
+    expect_all_policies_match(g, RelayFactory(2), "relay multigraph");
+  }
+}
+
+TEST(Engine, MidRunHaltsWithPerNodePrograms) {
+  // Per-node halt rounds decouple the stagger from node degrees: on a
+  // cycle (uniform degree 2) node v halts after v % 7 + 2 + degree rounds,
+  // so silence fronts sweep through the worklist while neighbours relay.
+  // Policy identity is the contract here (run_synchronous_programs has no
+  // factory for the oracle); the sequential run is the reference.
+  const auto pg = port::with_canonical_ports(graph::cycle(48));
+  const auto make_programs = [] {
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (std::size_t v = 0; v < 48; ++v) {
+      programs.push_back(
+          std::make_unique<RelayProgram>(static_cast<Round>(v % 7 + 2)));
+    }
+    return programs;
+  };
+
+  RunOptions options;
+  options.collect_trace = true;
+  options.collect_messages = true;
+  const auto sequential =
+      run_synchronous_programs(pg.ports(), make_programs(), options);
+  for (const unsigned threads : policy_thread_counts()) {
+    options.exec.threads = threads;
+    const auto got =
+        run_synchronous_programs(pg.ports(), make_programs(), options);
+    EXPECT_TRUE(got == sequential) << "threads=" << threads;
+  }
+}
+
+TEST(Engine, SingleBufferWorkspaceFootprint) {
+  // Deterministic, hardware-independent accounting for the fused
+  // exchange: a fresh lane's pooled footprint for a P-port graph holds
+  // exactly ONE P-slot Message buffer (the inbox) plus small worklist and
+  // scratch arrays.  The pre-fusion pipeline kept an equally sized outbox
+  // too, which would bust the 2·P·sizeof(Message) bound asserted here.
+  auto rng = test::make_rng(0xE65);
+  const auto pg = test::random_ported_regular(1024, 4, rng);
+  const std::size_t ports = pg.ports().num_ports();
+  ASSERT_EQ(ports, 4096u);
+
+  std::uint64_t delta = 0;
+  std::thread fresh_lane([&] {
+    const auto before = engine_alloc_stats().workspace_bytes;
+    const auto result = run_synchronous(pg.ports(), EchoFactory(3));
+    ASSERT_EQ(result.stats.rounds, 3u);
+    delta = engine_alloc_stats().workspace_bytes - before;
+  });
+  fresh_lane.join();
+
+  EXPECT_GE(delta, ports * sizeof(Message))
+      << "the inbox itself must be accounted";
+  EXPECT_LT(delta, 2 * ports * sizeof(Message))
+      << "a second ports-sized message buffer is back in the workspace";
+}
+
+TEST(Engine, StageProfilingCountsRoundsAndStaysOffByDefault) {
+  const auto pg = port::with_canonical_ports(graph::cycle(16));
+  const auto before = engine_stage_stats();
+  engine_stage_profiling(true);
+  const auto result = run_synchronous(pg.ports(), EchoFactory(6));
+  engine_stage_profiling(false);
+  const auto after = engine_stage_stats();
+  EXPECT_EQ(after.profiled_rounds - before.profiled_rounds,
+            result.stats.rounds);
+  EXPECT_GE(after.exchange_ns, before.exchange_ns);
+  EXPECT_GE(after.receive_ns, before.receive_ns);
+
+  // With profiling off again, runs leave the counters untouched.
+  (void)run_synchronous(pg.ports(), EchoFactory(6));
+  EXPECT_TRUE(engine_stage_stats() == after);
 }
 
 TEST(Engine, WorklistSkipsHaltedNodes) {
