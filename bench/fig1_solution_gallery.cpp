@@ -33,8 +33,11 @@ int main() {
   auto edges_of = [&g](const eds::graph::EdgeSet& s) {
     std::string out;
     for (const auto e : s.to_vector()) {
-      out += "{" + std::to_string(g.edge(e).u) + "," +
-             std::to_string(g.edge(e).v) + "}";
+      out += '{';
+      out += std::to_string(g.edge(e).u);
+      out += ',';
+      out += std::to_string(g.edge(e).v);
+      out += '}';
     }
     return out;
   };

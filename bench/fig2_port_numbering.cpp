@@ -51,7 +51,11 @@ int main() {
     std::string pairs;
     for (eds::port::Port i = 1; i <= pg.graph().degree(v); ++i) {
       const auto lp = eds::port::label_pair(pg, pg.edge_at(v, i));
-      pairs += "{" + std::to_string(lp.lo) + "," + std::to_string(lp.hi) + "} ";
+      pairs += '{';
+      pairs += std::to_string(lp.lo);
+      pairs += ',';
+      pairs += std::to_string(lp.hi);
+      pairs += "} ";
     }
     const auto dn = eds::port::distinguishable_neighbour(pg, v);
     table.row({std::string(1, names[v]),

@@ -106,6 +106,11 @@ port::Port resolve_param(const port::PortedGraph& pg, Algorithm algorithm,
 
 }  // namespace
 
+port::Port resolved_param(const port::PortedGraph& pg, Algorithm algorithm,
+                          port::Port param) {
+  return resolve_param(pg, algorithm, param);
+}
+
 EdsOutcome run_algorithm(const port::PortedGraph& pg, Algorithm algorithm,
                          port::Port param, const runtime::ExecOptions& exec) {
   param = resolve_param(pg, algorithm, param);

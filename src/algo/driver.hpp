@@ -52,6 +52,16 @@ struct EdsOutcome {
 [[nodiscard]] std::unique_ptr<runtime::ProgramFactory> make_factory(
     Algorithm algorithm, port::Port param = 0);
 
+/// Resolves the `param == 0` default from the graph, exactly as
+/// run_algorithm does internally: the d-regular degree for kOddRegular
+/// (throws InvalidArgument when the graph is not regular), the max degree
+/// for kBoundedDegree / kDoubleCover, `param` unchanged otherwise.  Callers
+/// that build raw runtime::BatchJobs (e.g. the CLI's async sweep) use this
+/// to construct the same factory run_algorithm would.
+[[nodiscard]] port::Port resolved_param(const port::PortedGraph& pg,
+                                        Algorithm algorithm,
+                                        port::Port param = 0);
+
 /// Runs `algorithm` on `pg` and returns the validated solution.
 /// `param` defaults (0) resolve from the graph: d-regular degree for
 /// kOddRegular, max degree for kBoundedDegree / kDoubleCover.  `exec`

@@ -25,6 +25,7 @@
 #include "port/random_port_graph.hpp"
 #include "port/views.hpp"
 #include "runtime/batch.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/outputs.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/shard.hpp"
@@ -99,6 +100,8 @@ void usage(std::ostream& out) {
          "  sweep <family> [--min N] [--max N] [--step S] [--d D]\n"
          "        [--algorithm A] [--param P] [--seed S] [--threads N]\n"
          "        [--shards N] [--repeat R] [--ndjson]\n"
+         "        [--model sync|async] [--delay SPEC] [--loss P] [--dup P]\n"
+         "        [--crash K] [--timeout T] [--synchronizer on|off]\n"
          "      families: path | cycle | regular | grid | torus |\n"
          "                caterpillar | powerlaw | portgraph\n"
          "      fans one instance per size across the batch engine's thread\n"
@@ -118,7 +121,17 @@ void usage(std::ostream& out) {
          "      --shards N fans the jobs across N `edsim worker`\n"
          "      subprocesses instead of threads (0 = one per hardware\n"
          "      thread; output is byte-identical either way; workers keep\n"
-         "      per-shard plan caches, summed in the summary)\n"
+         "      per-shard plan caches, summed in the summary);\n"
+         "      --model async runs the event-driven asynchronous engine:\n"
+         "      --delay fixed:T|uniform:LO:HI|geometric:MEAN[:CAP] is the\n"
+         "      per-link delay model, the α-synchronizer (--synchronizer,\n"
+         "      default on) makes results bit-identical to --model sync,\n"
+         "      and with --synchronizer off (the default once any fault is\n"
+         "      requested) --loss P / --dup P / --crash K inject message\n"
+         "      loss, duplication and K crashed nodes per instance while\n"
+         "      --timeout T bounds how long a round waits (0 = auto);\n"
+         "      rows gain \"model\"/\"consistent\" fields, degradation is\n"
+         "      reported, not fatal; async runs never combine with --shards\n"
          "  lower-bound <d>\n"
          "      emits the Theorem 1 (even d) / Theorem 2 (odd d) adversarial\n"
          "      instance in port-graph format, with its optimum\n"
@@ -393,6 +406,61 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
 
+  // --model async swaps the round engine for the event-driven asynchronous
+  // engine (runtime/async.hpp).  All validation happens here so misuse is
+  // a clean exit 2, not a mid-sweep throw.  The default --model sync path
+  // below is untouched — byte-identical to a build without this flag.
+  const auto model = args.get("model", "sync");
+  if (model != "sync" && model != "async") {
+    err << "sweep: unknown --model '" << model << "' (sync|async)\n";
+    return 2;
+  }
+  const bool async_model = model == "async";
+  runtime::AsyncOptions async_base;
+  double loss = 0.0;
+  double dup = 0.0;
+  std::size_t crash_k = 0;
+  if (async_model) {
+    if (args.has("shards")) {
+      err << "sweep: --model async cannot run under --shards (async jobs "
+             "do not cross the schema-1 wire); drop one of the two\n";
+      return 2;
+    }
+    try {
+      async_base.delay =
+          runtime::parse_delay_model(args.get("delay", "fixed:1"));
+    } catch (const Error& e) {
+      err << "sweep: " << e.what() << '\n';
+      return 2;
+    }
+    try {
+      loss = std::stod(args.get("loss", "0"));
+      dup = std::stod(args.get("dup", "0"));
+    } catch (const std::exception&) {
+      err << "sweep: --loss/--dup must be numbers in [0, 1]\n";
+      return 2;
+    }
+    if (loss < 0.0 || loss > 1.0 || dup < 0.0 || dup > 1.0) {
+      err << "sweep: --loss/--dup must be numbers in [0, 1]\n";
+      return 2;
+    }
+    crash_k = static_cast<std::size_t>(args.get_u64("crash", 0));
+    async_base.round_timeout = args.get_u64("timeout", 0);
+    const bool have_faults = loss > 0.0 || dup > 0.0 || crash_k > 0;
+    const auto sync_flag =
+        args.get("synchronizer", have_faults ? "off" : "on");
+    if (sync_flag != "on" && sync_flag != "off") {
+      err << "sweep: --synchronizer takes on|off\n";
+      return 2;
+    }
+    async_base.synchronizer = sync_flag == "on";
+    if (async_base.synchronizer && have_faults) {
+      err << "sweep: the α-synchronizer requires a fault-free network; "
+             "drop --loss/--dup/--crash or pass --synchronizer off\n";
+      return 2;
+    }
+  }
+
   // --shards N swaps the in-process pool for `edsim worker` subprocesses;
   // everything downstream (row printing, summary, exit code) is backend
   // agnostic, which is what makes the outputs byte-identical.
@@ -468,11 +536,47 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
       if (all_feasible.has_value()) {
         out << ",\"all_feasible\":" << (*all_feasible ? "true" : "false");
       }
+      if (async_model) {
+        out << ",\"model\":\"async\",\"delay\":\""
+            << runtime::format_delay_model(async_base.delay)
+            << "\",\"loss\":" << loss << ",\"dup\":" << dup
+            << ",\"crash\":" << crash_k << ",\"synchronizer\":"
+            << (async_base.synchronizer ? "true" : "false")
+            << ",\"timeout\":" << async_base.round_timeout;
+      }
       out << "}}\n";
     } else {
+      if (async_model) {
+        out << "model: async delay="
+            << runtime::format_delay_model(async_base.delay)
+            << " loss=" << loss << " dup=" << dup << " crash=" << crash_k
+            << " synchronizer=" << (async_base.synchronizer ? "on" : "off")
+            << " timeout=" << async_base.round_timeout << '\n';
+      }
       out << "plan-cache: compiled=" << compiled
           << " hits=" << hits << '\n';
     }
+  };
+
+  // Per-job async configuration, derived at job-construction time so the
+  // result is independent of scheduling: every (instance, repeat) pair gets
+  // its own delay-matrix/fault seed, and the crash schedule is drawn for
+  // the instance's node count over a horizon scaled to the delay bound.
+  const auto async_for_job = [&](std::size_t job_index,
+                                 std::size_t num_nodes) {
+    runtime::AsyncOptions a = async_base;
+    std::uint64_t state =
+        args.get_u64("seed", 1) ^ (0xA51DC0DEULL + job_index);
+    a.seed = splitmix64(state);
+    a.faults.loss = loss;
+    a.faults.duplicate = dup;
+    if (crash_k > 0) {
+      const std::uint64_t horizon = 32 * a.delay.max_delay();
+      a.faults.crashes = runtime::make_fault_plan(0, 0, crash_k, num_nodes,
+                                                  horizon, splitmix64(state))
+                             .crashes;
+    }
+    return a;
   };
 
   try {
@@ -503,7 +607,12 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
         // from prepare_batch's StructuralHashMemo).
         spec.group = runtime::structural_hash(g);
         for (std::size_t r = 0; r < repeat; ++r) {
-          jobs.push_back({&g, factory.get(), options, spec});
+          runtime::RunOptions job_options = options;
+          if (async_model) {
+            job_options.exec.async =
+                async_for_job(jobs.size(), g.num_nodes());
+          }
+          jobs.push_back({&g, factory.get(), job_options, spec});
         }
       }
       const runtime::BatchRunner runner =
@@ -522,23 +631,36 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
       runner.run_streaming(
           jobs, [&](std::size_t i, runtime::RunResult&& result) {
             const auto& g = instances[i / repeat];
+            // Under faults a one-sided selection is a measured outcome, so
+            // the async model tolerates inconsistency instead of throwing.
             const auto selected =
-                runtime::validated_selection_size(g, result);
+                async_model
+                    ? runtime::consistent_selection_size(g, result)
+                    : std::optional<std::size_t>(
+                          runtime::validated_selection_size(g, result));
             if (ndjson) {
               out << "{\"schema\":" << runtime::kWireSchemaVersion
                   << ",\"index\":" << i << ",\"family\":\"portgraph\""
                   << ",\"n\":" << sizes[i / repeat]
-                  << ",\"ports\":" << g.num_ports()
-                  << ",\"rounds\":" << result.stats.rounds
-                  << ",\"messages\":" << result.stats.messages_sent
-                  << ",\"selected\":" << selected << "}\n";
+                  << ",\"ports\":" << g.num_ports();
+              if (async_model) {
+                out << ",\"model\":\"async\",\"consistent\":"
+                    << (selected.has_value() ? "true" : "false");
+              }
+              out << ",\"rounds\":" << result.stats.rounds
+                  << ",\"messages\":" << result.stats.messages_sent;
+              if (selected.has_value()) {
+                out << ",\"selected\":" << *selected;
+              }
+              out << "}\n";
               out.flush();
             } else {
               table.row({std::to_string(sizes[i / repeat]),
                          std::to_string(g.num_ports()),
                          std::to_string(result.stats.rounds),
                          std::to_string(result.stats.messages_sent),
-                         std::to_string(selected)});
+                         selected.has_value() ? std::to_string(*selected)
+                                              : "inconsistent"});
             }
           });
       if (!ndjson) table.print(out);
@@ -580,6 +702,96 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
         return 2;
       }
       instances.push_back(port::with_random_ports(std::move(g), rng));
+    }
+
+    if (async_model) {
+      // Raw runtime jobs instead of algo::BatchItems: the async model
+      // bypasses run_batch's validated-EdsOutcome path on purpose, because
+      // under faults a one-sided selection is a measured outcome the sweep
+      // must report, not an exception.  Factories are built exactly as
+      // run_algorithm would (same resolved parameter), so the fault-free
+      // synchronized rows are field-identical to the sync model's.
+      std::vector<algo::Algorithm> algorithms(instances.size());
+      std::vector<std::unique_ptr<runtime::ProgramFactory>> factories;
+      factories.reserve(instances.size());
+      std::vector<runtime::BatchJob> jobs;
+      jobs.reserve(instances.size() * repeat);
+      for (std::size_t k = 0; k < instances.size(); ++k) {
+        const auto& pg = instances[k];
+        port::Port item_param = param;
+        if (fixed) {
+          algorithms[k] = *fixed;
+        } else {
+          const auto rec = algo::recommended_for(pg.graph());
+          algorithms[k] = rec.algorithm;
+          item_param = rec.param;
+        }
+        factories.push_back(algo::make_factory(
+            algorithms[k],
+            algo::resolved_param(pg, algorithms[k], item_param)));
+        for (std::size_t r = 0; r < repeat; ++r) {
+          runtime::RunOptions options;
+          options.exec.plan_cache = &plan_cache;
+          options.exec.async =
+              async_for_job(jobs.size(), pg.graph().num_nodes());
+          jobs.push_back(
+              {&pg.ports(), factories.back().get(), options, std::nullopt});
+        }
+      }
+
+      if (!ndjson) {
+        out << "sweep: family=" << family << " algorithm=" << algo_name
+            << " jobs=" << jobs.size() << '\n';
+      }
+      TextTable table("");
+      table.header(
+          {"n", "edges", "algorithm", "rounds", "messages", "|D|", "ok"});
+      runtime::BatchRunner(threads).run_streaming(
+          jobs, [&](std::size_t i, runtime::RunResult&& result) {
+            const auto& pg = instances[i / repeat];
+            const auto& g = pg.graph();
+            const auto selected =
+                runtime::consistent_selection_size(pg.ports(), result);
+            std::optional<bool> feasible;
+            if (selected.has_value()) {
+              feasible = analysis::is_edge_dominating_set(
+                  g, runtime::validated_edge_set(pg, result));
+            }
+            if (ndjson) {
+              out << "{\"schema\":" << runtime::kWireSchemaVersion
+                  << ",\"index\":" << i << ",\"family\":\"" << family << '"'
+                  << ",\"n\":" << sizes[i / repeat]
+                  << ",\"nodes\":" << g.num_nodes()
+                  << ",\"edges\":" << g.num_edges() << ",\"algorithm\":\""
+                  << algo::algorithm_name(algorithms[i / repeat]) << '"'
+                  << ",\"model\":\"async\",\"consistent\":"
+                  << (selected.has_value() ? "true" : "false")
+                  << ",\"rounds\":" << result.stats.rounds
+                  << ",\"messages\":" << result.stats.messages_sent;
+              if (selected.has_value()) {
+                out << ",\"solution\":" << *selected << ",\"feasible\":"
+                    << (*feasible ? "true" : "false");
+              }
+              out << "}\n";
+              out.flush();
+            } else {
+              table.row({std::to_string(sizes[i / repeat]),
+                         std::to_string(g.num_edges()),
+                         algo::algorithm_name(algorithms[i / repeat]),
+                         std::to_string(result.stats.rounds),
+                         std::to_string(result.stats.messages_sent),
+                         selected.has_value() ? std::to_string(*selected)
+                                              : "-",
+                         !selected.has_value() ? "inconsistent"
+                         : *feasible          ? "yes"
+                                              : "NO"});
+            }
+          });
+      if (!ndjson) table.print(out);
+      // Degradation is the measurement here: inconsistent or infeasible
+      // rows are data, not a failed sweep.
+      summarize(jobs.size(), std::nullopt);
+      return 0;
     }
 
     std::vector<algo::BatchItem> items;

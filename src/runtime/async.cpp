@@ -1,0 +1,491 @@
+#include "runtime/async.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <sstream>
+#include <tuple>
+
+#include "runtime/plan_cache.hpp"
+#include "util/rng.hpp"
+
+namespace eds::runtime {
+
+namespace {
+
+constexpr Round kNoHalt = std::numeric_limits<Round>::max();
+
+/// Order-independent deterministic draw: a pure hash of the run seed and
+/// structural coordinates, so loss/delay decisions never depend on event-pop
+/// order or thread count.
+std::uint64_t draw_bits(std::uint64_t seed, std::uint64_t x, std::uint64_t y,
+                        std::uint64_t salt) {
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ (x + 0x9E3779B97F4A7C15ULL * salt);
+  state = splitmix64(state) ^ y;
+  return splitmix64(state);
+}
+
+double draw01(std::uint64_t seed, std::uint64_t x, std::uint64_t y,
+              std::uint64_t salt) {
+  return static_cast<double>(draw_bits(seed, x, y, salt) >> 11) * 0x1.0p-53;
+}
+
+/// One entry of the delay matrix: the latency of the directed link behind
+/// flat port q.
+std::uint64_t sample_delay(const DelayModel& model, std::uint64_t seed,
+                           std::uint64_t q) {
+  switch (model.kind) {
+    case DelayKind::kFixed:
+      return model.a;
+    case DelayKind::kUniform:
+      return model.a +
+             draw_bits(seed, q, 0, /*salt=*/3) % (model.b - model.a + 1);
+    case DelayKind::kGeometric: {
+      if (model.a <= 1) return 1;
+      const double u = draw01(seed, q, 0, /*salt=*/4);
+      const double p = 1.0 / static_cast<double>(model.a);
+      const double tail = std::floor(std::log1p(-u) / std::log1p(-p));
+      const auto ticks = 1 + static_cast<std::uint64_t>(tail);
+      return std::clamp<std::uint64_t>(ticks, 1, model.b);
+    }
+  }
+  return 1;  // unreachable
+}
+
+enum class EventKind : std::uint8_t {
+  kPayload,     ///< an algorithm message arriving at (node, port)
+  kAck,         ///< a transport acknowledgement returning to the sender
+  kHaltNotice,  ///< "my side of this link halted after round `round`"
+  kCrash,       ///< scheduled node crash from the FaultPlan
+  kDeadline,    ///< round timeout (free-running mode only)
+};
+
+struct Event {
+  std::uint64_t time = 0;
+  port::NodeId node = 0;  ///< the node the event happens at
+  Port port = 0;          ///< its local port; 0 for node-level events
+  std::uint64_t seq = 0;  ///< global monotone counter, the final tie-break
+  EventKind kind = EventKind::kPayload;
+  Round round = 0;
+  Message payload = kSilence;
+  port::NodeId from_node = 0;  ///< payload sender (for acks and the log)
+  Port from_port = 0;
+};
+
+/// Min-heap order for std::priority_queue: the *smallest* (time, node,
+/// port, seq) pops first.  The tuple is a strict total order because seq is
+/// unique, which is what makes every run reproducible from its seed.
+struct EventAfter {
+  bool operator()(const Event& x, const Event& y) const noexcept {
+    return std::tie(x.time, x.node, x.port, x.seq) >
+           std::tie(y.time, y.node, y.port, y.seq);
+  }
+};
+
+/// Per-round input assembly: one slot per port, silence until filled.
+struct RoundBuf {
+  std::vector<Message> slots;
+  std::vector<char> have;
+
+  explicit RoundBuf(Port degree)
+      : slots(degree, kSilence), have(degree, 0) {}
+};
+
+struct NodeState {
+  Round round = 0;            ///< round whose inputs are being assembled
+  Round halt_round = kNoHalt; ///< kNoHalt while running; 0 = halted at start
+  bool crashed = false;
+  Port acks_got = 0;          ///< acks received for this round's sends
+  std::deque<RoundBuf> bufs;  ///< bufs[k] holds inputs for round `round`+k
+  std::vector<Round> partner_halt;  ///< per port: partner's halt round
+
+  [[nodiscard]] bool running() const noexcept {
+    return halt_round == kNoHalt && !crashed;
+  }
+};
+
+}  // namespace
+
+AsyncPolicy::AsyncPolicy(AsyncOptions options) : options_(std::move(options)) {}
+
+AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
+                             std::vector<std::unique_ptr<NodeProgram>>& programs,
+                             const RunOptions& options,
+                             const std::string& name) const {
+  const std::size_t n = plan.num_nodes();
+  if (options.max_rounds == 0) {
+    throw InvalidArgument(
+        "run_asynchronous: RunOptions::max_rounds must be positive");
+  }
+  if (programs.size() != n) {
+    throw InvalidArgument("run_asynchronous: one program per node required");
+  }
+  const FaultPlan& faults = options_.faults;
+  if (faults.loss < 0.0 || faults.loss > 1.0 || faults.duplicate < 0.0 ||
+      faults.duplicate > 1.0) {
+    throw InvalidArgument(
+        "run_asynchronous: fault probabilities must lie in [0, 1]");
+  }
+  if (options_.synchronizer && !faults.empty()) {
+    throw InvalidArgument(
+        "run_asynchronous: the α-synchronizer requires a fault-free "
+        "FaultPlan — loss or crashes would stall its per-round "
+        "acknowledgements; disable the synchronizer to inject faults");
+  }
+  if (options_.delay.a == 0 || options_.delay.b < options_.delay.a) {
+    throw InvalidArgument("run_asynchronous: malformed DelayModel bounds");
+  }
+  for (const auto& crash : faults.crashes) {
+    if (crash.node >= n) {
+      throw InvalidArgument("run_asynchronous: crash of out-of-range node");
+    }
+  }
+
+  const bool synchronized = options_.synchronizer;
+  const std::uint64_t seed = options_.seed;
+  const std::uint64_t timeout = options_.round_timeout != 0
+                                    ? options_.round_timeout
+                                    : 8 * options_.delay.max_delay();
+
+  // The delay matrix: one latency per directed link, fixed for the run.
+  std::vector<std::uint64_t> delays(plan.total_ports());
+  for (std::size_t q = 0; q < delays.size(); ++q) {
+    delays[q] = sample_delay(options_.delay, seed, q);
+  }
+
+  AsyncResult out;
+  RunResult& result = out.run;
+  result.messages_collected = options.collect_messages;
+  RunStats& stats = result.stats;
+  out.crashed.assign(n, 0);
+
+  std::vector<NodeState> st(n);
+  std::priority_queue<Event, std::vector<Event>, EventAfter> timeline;
+  std::uint64_t seq = 0;
+  const auto push = [&](Event e) {
+    e.seq = seq++;
+    timeline.push(std::move(e));
+  };
+
+  std::vector<Message> stage;          // send-stage scratch
+  std::vector<std::uint64_t> round_messages(1, 0);  // [round] -> non-silence
+  Round max_fired = 0;
+
+  const auto ensure_front = [&](NodeState& s, Port deg) -> RoundBuf& {
+    if (s.bufs.empty()) s.bufs.emplace_back(deg);
+    return s.bufs.front();
+  };
+
+  const auto buf_for = [&](NodeState& s, Round r, Port deg) -> RoundBuf& {
+    const std::size_t idx = r - s.round;
+    while (s.bufs.size() <= idx) s.bufs.emplace_back(deg);
+    return s.bufs[idx];
+  };
+
+  const auto schedule_halt_notices = [&](std::size_t v, Round h,
+                                         std::uint64_t now) {
+    const Port deg = plan.degree(v);
+    const std::size_t off = plan.offset(v);
+    for (Port i = 1; i <= deg; ++i) {
+      const std::size_t q = off + i - 1;
+      const port::PortRef to = plan.partner_ref(q);
+      push({now + delays[q], to.node, to.port, 0, EventKind::kHaltNotice, h});
+    }
+  };
+
+  const auto send_round = [&](std::size_t v, Round r, std::uint64_t now) {
+    NodeState& s = st[v];
+    const Port deg = plan.degree(v);
+    const std::size_t off = plan.offset(v);
+    stats.ports_served += deg;
+    stage.assign(deg, kSilence);
+    programs[v]->send(r, std::span<Message>(stage.data(), deg));
+    if (round_messages.size() <= r) round_messages.resize(r + 1, 0);
+    for (Port i = 1; i <= deg; ++i) {
+      const std::size_t q = off + i - 1;
+      const Message& m = stage[i - 1];
+      if (!m.is_silence()) {
+        ++stats.messages_sent;
+        ++round_messages[r];
+        // Logged at transmission (duplicates excluded), not acceptance: the
+        // synchronous engine records every non-silence send of a running
+        // node — including sends a halted receiver will ignore — so this is
+        // the only recording point that keeps the transcript bit-identical.
+        if (options.collect_messages) {
+          result.message_log.push_back(
+              {r, {static_cast<port::NodeId>(v), i}, plan.partner_ref(q), m});
+        }
+      }
+      if (faults.loss > 0.0 && draw01(seed, q, r, /*salt=*/1) < faults.loss) {
+        out.fault_log.push_back({now, FaultKind::kLoss,
+                                 static_cast<port::NodeId>(v), i, r});
+        ++out.async.lost;
+        continue;
+      }
+      const port::PortRef to = plan.partner_ref(q);
+      const std::uint64_t arrival = now + delays[q];
+      push({arrival, to.node, to.port, 0, EventKind::kPayload, r, m,
+            static_cast<port::NodeId>(v), i});
+      if (faults.duplicate > 0.0 &&
+          draw01(seed, q, r, /*salt=*/2) < faults.duplicate) {
+        push({arrival + delays[q], to.node, to.port, 0, EventKind::kPayload, r,
+              m, static_cast<port::NodeId>(v), i});
+        out.fault_log.push_back({now, FaultKind::kDuplicate,
+                                 static_cast<port::NodeId>(v), i, r});
+        ++out.async.duplicated;
+      }
+    }
+    if (synchronized) {
+      s.acks_got = 0;
+    } else {
+      push({now + timeout, static_cast<port::NodeId>(v), 0, 0,
+            EventKind::kDeadline, r});
+    }
+  };
+
+  // Fires receive(round) with whatever the front buffer holds (missing
+  // slots are silence), then either halts the node or advances it into the
+  // next round and sends.  Throws past max_rounds, mirroring the
+  // synchronous engine.
+  const auto fire = [&](std::size_t v, std::uint64_t now) {
+    NodeState& s = st[v];
+    const Port deg = plan.degree(v);
+    const Round r = s.round;
+    RoundBuf& buf = ensure_front(s, deg);
+    programs[v]->receive(
+        r, std::span<const Message>(buf.slots.data(), deg));
+    max_fired = std::max(max_fired, r);
+    s.bufs.pop_front();
+    if (programs[v]->halted()) {
+      s.halt_round = r;
+      schedule_halt_notices(v, r, now);
+      return;
+    }
+    if (r + 1 > options.max_rounds) {
+      std::size_t still_running = 0;
+      for (const NodeState& other : st) still_running += other.running();
+      std::ostringstream os;
+      os << "run_asynchronous: algorithm '" << name
+         << "' did not halt within " << options.max_rounds << " rounds ("
+         << still_running << " of " << n << " nodes still running)";
+      throw ExecutionError(os.str());
+    }
+    s.round = r + 1;
+    ensure_front(s, deg);
+    send_round(v, r + 1, now);
+  };
+
+  // A node's round is ready when every port either delivered this round's
+  // message or is known to have halted before it (then it reads silence,
+  // exactly as in the synchronous engine).
+  const auto inputs_ready = [&](const NodeState& s, Port deg) {
+    const RoundBuf& buf = s.bufs.front();
+    for (Port i = 0; i < deg; ++i) {
+      if (!buf.have[i] && s.partner_halt[i] >= s.round) return false;
+    }
+    return true;
+  };
+
+  const auto try_fire = [&](std::size_t v, std::uint64_t now) {
+    NodeState& s = st[v];
+    const Port deg = plan.degree(v);
+    while (s.running()) {
+      if (synchronized && s.acks_got < deg) break;
+      ensure_front(s, deg);
+      if (!inputs_ready(s, deg)) break;
+      fire(v, now);
+    }
+  };
+
+  // --- Initialisation: start every program, let round 1 leave the gates.
+  for (std::size_t v = 0; v < n; ++v) {
+    NodeState& s = st[v];
+    const Port deg = plan.degree(v);
+    s.partner_halt.assign(deg, kNoHalt);
+    programs[v]->start(deg);
+    if (programs[v]->halted()) {
+      s.halt_round = 0;
+      schedule_halt_notices(v, 0, 0);
+      continue;
+    }
+    s.round = 1;
+    ensure_front(s, deg);
+    send_round(v, 1, 0);
+    try_fire(v, 0);  // degree-0 nodes have no inputs to wait for
+  }
+  for (const CrashEvent& crash : faults.crashes) {
+    push({crash.time, crash.node, 0, 0, EventKind::kCrash, 0});
+  }
+
+  // --- The event loop: strictly ordered, single-threaded, deterministic.
+  while (!timeline.empty()) {
+    const Event e = timeline.top();
+    timeline.pop();
+    const std::uint64_t now = e.time;
+    out.async.virtual_time = std::max(out.async.virtual_time, now);
+    NodeState& s = st[e.node];
+    switch (e.kind) {
+      case EventKind::kPayload: {
+        if (s.crashed) {
+          ++out.async.stale;
+          break;
+        }
+        if (synchronized) {
+          // Transport-level acknowledgement: receipt is confirmed whether
+          // or not the algorithm layer still listens, over the reverse
+          // direction of the same link.
+          const std::size_t back = plan.offset(e.node) + e.port - 1;
+          push({now + delays[back], e.from_node, e.from_port, 0,
+                EventKind::kAck, e.round});
+        }
+        if (s.halt_round != kNoHalt) break;  // halted: payload ignored
+        if (e.round < s.round) {
+          ++out.async.stale;  // late after a timeout, or a duplicate
+          break;
+        }
+        RoundBuf& buf = buf_for(s, e.round, plan.degree(e.node));
+        const Port idx = e.port - 1;
+        if (buf.have[idx]) {
+          ++out.async.stale;  // duplicated delivery, suppressed
+          break;
+        }
+        buf.have[idx] = 1;
+        buf.slots[idx] = e.payload;
+        ++out.async.delivered;
+        if (e.round == s.round) try_fire(e.node, now);
+        break;
+      }
+      case EventKind::kAck: {
+        if (s.crashed) break;
+        ++out.async.acks;
+        ++s.acks_got;
+        if (s.halt_round == kNoHalt) try_fire(e.node, now);
+        break;
+      }
+      case EventKind::kHaltNotice: {
+        if (s.crashed) break;
+        s.partner_halt[e.port - 1] = e.round;
+        if (s.halt_round == kNoHalt) try_fire(e.node, now);
+        break;
+      }
+      case EventKind::kCrash: {
+        if (s.crashed || s.halt_round != kNoHalt) break;  // no-op once done
+        s.crashed = true;
+        out.crashed[e.node] = 1;
+        out.fault_log.push_back({now, FaultKind::kCrash, e.node, 0, 0});
+        break;
+      }
+      case EventKind::kDeadline: {
+        if (!s.running() || s.round != e.round) break;  // superseded
+        ++out.async.timeouts;
+        fire(e.node, now);  // missing inputs become silence
+        try_fire(e.node, now);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (st[v].running()) {
+      // Unreachable by construction (the synchronizer always completes its
+      // waits, free-running nodes always hold a deadline); kept as a
+      // defensive check so a future regression fails loudly.
+      throw ExecutionError("run_asynchronous: algorithm '" + name +
+                           "' stalled with the timeline empty");
+    }
+  }
+
+  stats.rounds = max_fired;
+  if (options.collect_trace) {
+    for (Round r = 1; r <= max_fired; ++r) {
+      std::size_t halted_cum = 0;
+      for (const NodeState& s : st) halted_cum += s.halt_round <= r;
+      result.trace.push_back(
+          {r, r < round_messages.size() ? round_messages[r] : 0, halted_cum});
+    }
+  }
+
+  result.outputs.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (st[v].halt_round == kNoHalt) continue;  // crashed: empty output
+    auto ports = programs[v]->output();
+    std::sort(ports.begin(), ports.end());
+    const Port deg = plan.degree(v);
+    for (const Port p : ports) {
+      if (p < 1 || p > deg) {
+        throw ExecutionError(
+            "run_asynchronous: node output contains an invalid port number");
+      }
+    }
+    if (std::adjacent_find(ports.begin(), ports.end()) != ports.end()) {
+      throw ExecutionError(
+          "run_asynchronous: node output contains a duplicate port");
+    }
+    result.outputs[v] = std::move(ports);
+  }
+  return out;
+}
+
+namespace {
+
+/// Plan resolution, same contract as the synchronous path: borrow from the
+/// configured cache or compile locally.
+const ExecutionPlan& resolve_async_plan(
+    const port::PortGraph& g, const ExecOptions& exec,
+    std::shared_ptr<const ExecutionPlan>& shared,
+    std::optional<ExecutionPlan>& local) {
+  if (exec.plan_cache != nullptr) {
+    shared = exec.plan_cache->get(g);
+    return *shared;
+  }
+  local.emplace(g);
+  return *local;
+}
+
+}  // namespace
+
+AsyncResult run_asynchronous(const port::PortGraph& g,
+                             const ProgramFactory& factory,
+                             const RunOptions& options,
+                             const AsyncOptions& async) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    programs.push_back(factory.create());
+    if (!programs.back()) {
+      throw ExecutionError("run_asynchronous: factory returned null program");
+    }
+  }
+  std::shared_ptr<const ExecutionPlan> shared;
+  std::optional<ExecutionPlan> local;
+  const ExecutionPlan& plan =
+      resolve_async_plan(g, options.exec, shared, local);
+  const AsyncPolicy policy(async);
+  return policy.run(plan, programs, options, factory.name());
+}
+
+AsyncResult run_asynchronous_programs(
+    const port::PortGraph& g,
+    std::vector<std::unique_ptr<NodeProgram>> programs,
+    const RunOptions& options, const AsyncOptions& async,
+    const std::string& name) {
+  if (programs.size() != g.num_nodes()) {
+    throw InvalidArgument(
+        "run_asynchronous_programs: one program per node required");
+  }
+  for (const auto& p : programs) {
+    if (!p) throw InvalidArgument("run_asynchronous_programs: null program");
+  }
+  std::shared_ptr<const ExecutionPlan> shared;
+  std::optional<ExecutionPlan> local;
+  const ExecutionPlan& plan =
+      resolve_async_plan(g, options.exec, shared, local);
+  const AsyncPolicy policy(async);
+  return policy.run(plan, programs, options, name);
+}
+
+}  // namespace eds::runtime

@@ -203,6 +203,12 @@ EngineStageStats engine_stage_stats() noexcept {
   return stats;
 }
 
+void engine_stage_stats_reset() noexcept {
+  g_exchange_ns.store(0, std::memory_order_relaxed);
+  g_receive_ns.store(0, std::memory_order_relaxed);
+  g_profiled_rounds.store(0, std::memory_order_relaxed);
+}
+
 RunResult run_plan(const ExecutionPlan& plan,
                    std::vector<std::unique_ptr<NodeProgram>>& programs,
                    const RunOptions& options, const std::string& name,

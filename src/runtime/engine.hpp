@@ -211,4 +211,10 @@ void engine_stage_profiling(bool enabled) noexcept;
 /// Snapshot of the stage-timing counters.
 [[nodiscard]] EngineStageStats engine_stage_stats() noexcept;
 
+/// Zeroes the stage-timing counters.  They are process-wide and cumulative
+/// across runs, so per-run (or per-mode, e.g. sync vs async) attribution
+/// needs a reset between measurements; callers that prefer deltas can keep
+/// snapshotting instead.
+void engine_stage_stats_reset() noexcept;
+
 }  // namespace eds::runtime

@@ -1,0 +1,125 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace eds::runtime {
+
+namespace {
+
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream is(spec);
+  while (std::getline(is, part, ':')) parts.push_back(part);
+  return parts;
+}
+
+std::uint64_t parse_ticks(const std::string& text, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long value = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgument("parse_delay_model: bad tick count '" + text +
+                          "' in '" + spec + "'");
+  }
+}
+
+}  // namespace
+
+DelayModel parse_delay_model(const std::string& spec) {
+  const auto parts = split_spec(spec);
+  DelayModel model;
+  if (parts.size() == 2 && parts[0] == "fixed") {
+    model.kind = DelayKind::kFixed;
+    model.a = model.b = parse_ticks(parts[1], spec);
+  } else if (parts.size() == 3 && parts[0] == "uniform") {
+    model.kind = DelayKind::kUniform;
+    model.a = parse_ticks(parts[1], spec);
+    model.b = parse_ticks(parts[2], spec);
+  } else if ((parts.size() == 2 || parts.size() == 3) &&
+             parts[0] == "geometric") {
+    model.kind = DelayKind::kGeometric;
+    model.a = parse_ticks(parts[1], spec);
+    model.b = parts.size() == 3 ? parse_ticks(parts[2], spec) : 8 * model.a;
+  } else {
+    throw InvalidArgument(
+        "parse_delay_model: expected fixed:T, uniform:LO:HI or "
+        "geometric:MEAN[:CAP], got '" +
+        spec + "'");
+  }
+  if (model.a == 0 || model.b == 0) {
+    throw InvalidArgument("parse_delay_model: delays must be >= 1 in '" +
+                          spec + "'");
+  }
+  if (model.a > model.b) {
+    throw InvalidArgument("parse_delay_model: lower bound exceeds upper in '" +
+                          spec + "'");
+  }
+  return model;
+}
+
+std::string format_delay_model(const DelayModel& model) {
+  std::ostringstream os;
+  switch (model.kind) {
+    case DelayKind::kFixed:
+      os << "fixed:" << model.a;
+      break;
+    case DelayKind::kUniform:
+      os << "uniform:" << model.a << ':' << model.b;
+      break;
+    case DelayKind::kGeometric:
+      os << "geometric:" << model.a << ':' << model.b;
+      break;
+  }
+  return os.str();
+}
+
+FaultPlan make_fault_plan(double loss, double duplicate,
+                          std::size_t crash_count, std::size_t num_nodes,
+                          std::uint64_t horizon, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.loss = loss;
+  plan.duplicate = duplicate;
+  crash_count = std::min(crash_count, num_nodes);
+  if (crash_count > 0) {
+    std::uint64_t state = seed ^ 0xFA17B0A7DULL;
+    Rng rng(splitmix64(state));
+    auto victims = rng.permutation(num_nodes);
+    victims.resize(crash_count);
+    std::sort(victims.begin(), victims.end());
+    plan.crashes.reserve(crash_count);
+    for (const std::size_t v : victims) {
+      plan.crashes.push_back({static_cast<port::NodeId>(v),
+                              1 + rng.below(horizon == 0 ? 1 : horizon)});
+    }
+  }
+  return plan;
+}
+
+std::string format_fault_log(const std::vector<FaultEvent>& log) {
+  std::ostringstream os;
+  for (const auto& e : log) {
+    os << "t=" << e.time << ' ';
+    switch (e.kind) {
+      case FaultKind::kLoss:
+        os << "loss (" << e.node << ',' << e.port << ") r" << e.round;
+        break;
+      case FaultKind::kDuplicate:
+        os << "dup (" << e.node << ',' << e.port << ") r" << e.round;
+        break;
+      case FaultKind::kCrash:
+        os << "crash node " << e.node;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace eds::runtime

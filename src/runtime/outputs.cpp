@@ -70,4 +70,25 @@ std::size_t validated_selection_size(const port::PortGraph& g,
   return selected;
 }
 
+std::optional<std::size_t> consistent_selection_size(const port::PortGraph& g,
+                                                     const RunResult& result) {
+  if (result.outputs.size() != g.num_nodes()) {
+    throw ExecutionError("consistent_selection_size: node count mismatch");
+  }
+  const auto& claimed = result.outputs;
+  auto claims = [&claimed](port::NodeId v, port::Port p) {
+    return std::binary_search(claimed[v].begin(), claimed[v].end(), p);
+  };
+
+  std::size_t selected = 0;
+  for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const port::Port i : claimed[v]) {
+      const auto there = g.partner(v, i);
+      if (!claims(there.node, there.port)) return std::nullopt;
+      if (std::pair(v, i) <= std::pair(there.node, there.port)) ++selected;
+    }
+  }
+  return selected;
+}
+
 }  // namespace eds::runtime

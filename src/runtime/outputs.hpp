@@ -6,6 +6,8 @@
 // EdgeSet over the underlying simple graph, where verifiers operate.
 #pragma once
 
+#include <optional>
+
 #include "graph/edge_set.hpp"
 #include "port/ported_graph.hpp"
 #include "runtime/runner.hpp"
@@ -29,5 +31,14 @@ namespace eds::runtime {
 /// on an inconsistency.
 [[nodiscard]] std::size_t validated_selection_size(const port::PortGraph& g,
                                                    const RunResult& result);
+
+/// Non-throwing variant of validated_selection_size for runs that are
+/// *expected* to go wrong: under the free-running asynchronous model with
+/// faults, one-sided selections are a measured outcome, not a bug.  Returns
+/// the selected structural-edge count, or nullopt when the output is
+/// internally inconsistent (still throws on a node-count mismatch, which is
+/// always a harness bug).
+[[nodiscard]] std::optional<std::size_t> consistent_selection_size(
+    const port::PortGraph& g, const RunResult& result);
 
 }  // namespace eds::runtime

@@ -3,6 +3,7 @@
 #include <optional>
 #include <sstream>
 
+#include "runtime/async.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/plan_cache.hpp"
 
@@ -53,6 +54,11 @@ std::string format_transcript(const RunResult& result) {
 RunResult run_synchronous(const port::PortGraph& g,
                           const ProgramFactory& factory,
                           const RunOptions& options) {
+  if (options.exec.async) {
+    // Model dispatch: an ExecOptions::async turns this entry point into the
+    // event-driven engine (see runtime/async.hpp for the full result).
+    return run_asynchronous(g, factory, options, *options.exec.async).run;
+  }
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(g.num_nodes());
   for (std::size_t v = 0; v < g.num_nodes(); ++v) {
@@ -72,6 +78,11 @@ RunResult run_synchronous_programs(
     const port::PortGraph& g,
     std::vector<std::unique_ptr<NodeProgram>> programs,
     const RunOptions& options, const std::string& name) {
+  if (options.exec.async) {
+    return run_asynchronous_programs(g, std::move(programs), options,
+                                     *options.exec.async, name)
+        .run;
+  }
   if (programs.size() != g.num_nodes()) {
     throw InvalidArgument(
         "run_synchronous_programs: one program per node required");

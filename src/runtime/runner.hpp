@@ -19,10 +19,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "port/port_graph.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/program.hpp"
 
 namespace eds::runtime {
@@ -30,9 +32,12 @@ namespace eds::runtime {
 class PlanCache;
 class Executor;
 
-/// Execution-engine selection (scheduling, plan reuse, batch backend);
-/// never affects results — every combination is bit-identical by
-/// differential test.
+/// Execution-engine selection (scheduling, plan reuse, batch backend, and
+/// the execution *model*).  Everything except `async` never affects
+/// results — every scheduling combination is bit-identical by differential
+/// test.  `async` selects a different semantics on purpose: with the
+/// α-synchronizer it is bit-identical too (that equivalence is itself a
+/// differential oracle), without it results may legitimately differ.
 struct ExecOptions {
   /// Lanes to execute each round's exchange/receive stages on:
   /// 1 = SequentialPolicy (default), >1 = ParallelPolicy with that many
@@ -55,6 +60,15 @@ struct ExecOptions {
   /// in-process BatchRunner pool of `threads` lanes.  Ignored by
   /// run_synchronous: a single run has no batch to shard.
   const Executor* executor = nullptr;
+
+  /// When set, run_synchronous routes the run through the event-driven
+  /// asynchronous engine (runtime/async.hpp) configured by these options
+  /// instead of the round loop; the returned RunResult is the async run's
+  /// `AsyncResult::run` (call run_asynchronous directly for the fault log
+  /// and async counters).  The event loop is sequential, so `threads` only
+  /// parallelizes across batch jobs, never within a run.  Async runs never
+  /// cross the process-shard wire: ProcessShardExecutor rejects them.
+  std::optional<AsyncOptions> async = std::nullopt;
 
   [[nodiscard]] bool operator==(const ExecOptions&) const = default;
 };

@@ -534,6 +534,12 @@ void ProcessShardExecutor::validate(const std::vector<BatchJob>& jobs) const {
           "ProcessShardExecutor: trace/message collection does not cross "
           "the wire");
     }
+    if (job.options.exec.async.has_value()) {
+      throw InvalidArgument(
+          "ProcessShardExecutor: the asynchronous execution model does not "
+          "cross the wire (schema 1 carries no AsyncOptions); run async "
+          "jobs on the in-process backend");
+    }
   }
 }
 

@@ -413,5 +413,145 @@ TEST(Cli, SweepErrors) {
   EXPECT_EQ(invoke({"sweep", "cycle", "--min", "2", "--max", "2"}).code, 1);
 }
 
+/// The value of `"key":` in a one-line JSON object ("" when absent).
+/// Good enough for the flat objects the sweep emits — no nesting, no
+/// escaped strings in the fields under test.
+std::string json_field(const std::string& line, const std::string& key) {
+  const auto pos = line.find('"' + key + "\":");
+  if (pos == std::string::npos) return "";
+  const auto start = pos + key.size() + 3;
+  const auto end = line.find_first_of(",}", start);
+  return line.substr(start, end - start);
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Cli, SweepModelSyncDefaultIsByteIdentical) {
+  // `--model sync` must be a no-op: same bytes as omitting the flag, in
+  // both table and NDJSON mode.
+  const std::vector<std::string> base{"sweep",  "cycle", "--min", "8",
+                                      "--max",  "32",    "--seed", "3"};
+  for (const bool ndjson : {false, true}) {
+    auto plain = base;
+    auto spelled = base;
+    spelled.insert(spelled.end(), {"--model", "sync"});
+    if (ndjson) {
+      plain.push_back("--ndjson");
+      spelled.push_back("--ndjson");
+    }
+    const auto a = invoke(plain);
+    const auto b = invoke(spelled);
+    ASSERT_EQ(a.code, 0) << a.err;
+    EXPECT_EQ(b.code, a.code);
+    EXPECT_EQ(b.out, a.out);
+    EXPECT_EQ(b.err, a.err);
+    // The sync rows never carry the async-only fields.
+    EXPECT_EQ(a.out.find("\"model\""), std::string::npos);
+    EXPECT_EQ(a.out.find("\"consistent\""), std::string::npos);
+  }
+}
+
+TEST(Cli, SweepModelAsyncOracleRowsMatchSyncRows) {
+  // The α-synchronizer differential oracle at the CLI layer: a fault-free
+  // async sweep must report the same rounds/messages/solution/feasible as
+  // the sync sweep, row by row, under an adversarial delay model.
+  const std::vector<std::string> base{
+      "sweep", "regular", "--min", "8",    "--max",  "32", "--d",
+      "3",     "--seed",  "11",    "--ndjson"};
+  auto async_args = base;
+  async_args.insert(async_args.end(),
+                    {"--model", "async", "--delay", "uniform:1:9"});
+  const auto sync = invoke(base);
+  const auto async = invoke(async_args);
+  ASSERT_EQ(sync.code, 0) << sync.err;
+  ASSERT_EQ(async.code, 0) << async.err;
+
+  const auto sync_lines = lines_of(sync.out);
+  const auto async_lines = lines_of(async.out);
+  ASSERT_EQ(sync_lines.size(), async_lines.size());
+  for (std::size_t i = 0; i + 1 < sync_lines.size(); ++i) {  // skip summary
+    EXPECT_EQ(json_field(async_lines[i], "model"), "\"async\"");
+    EXPECT_EQ(json_field(async_lines[i], "consistent"), "true");
+    for (const char* key :
+         {"n", "nodes", "edges", "rounds", "messages", "solution",
+          "feasible", "algorithm"}) {
+      EXPECT_EQ(json_field(async_lines[i], key), json_field(sync_lines[i], key))
+          << "row " << i << " field " << key;
+    }
+  }
+}
+
+TEST(Cli, SweepModelAsyncEchoesConfigInSummary) {
+  const auto run = invoke({"sweep", "cycle", "--min", "8", "--max", "8",
+                           "--ndjson", "--model", "async", "--delay",
+                           "geometric:3", "--loss", "0.1", "--crash", "1",
+                           "--seed", "4"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  const auto lines = lines_of(run.out);
+  ASSERT_FALSE(lines.empty());
+  const auto& summary = lines.back();
+  ASSERT_NE(summary.find("\"summary\""), std::string::npos);
+  EXPECT_NE(summary.find("\"model\":\"async\""), std::string::npos);
+  EXPECT_NE(summary.find("\"delay\":\"geometric:3:24\""), std::string::npos);
+  EXPECT_NE(summary.find("\"loss\":0.1"), std::string::npos);
+  EXPECT_NE(summary.find("\"crash\":1"), std::string::npos);
+  // Faults were requested, so the synchronizer defaulted off.
+  EXPECT_NE(summary.find("\"synchronizer\":false"), std::string::npos);
+
+  // The portgraph family carries the async fields too.
+  const auto multi = invoke({"sweep", "portgraph", "--min", "4", "--max", "8",
+                             "--d", "3", "--ndjson", "--model", "async"});
+  ASSERT_EQ(multi.code, 0) << multi.err;
+  EXPECT_NE(multi.out.find("\"model\":\"async\""), std::string::npos);
+  EXPECT_NE(multi.out.find("\"consistent\":true"), std::string::npos);
+}
+
+TEST(Cli, SweepModelAsyncFaultyIsDeterministicAcrossThreadCounts) {
+  // Fault injection draws from per-job seeds fixed at construction, so a
+  // faulty sweep is byte-identical between --threads 1 and --threads 8.
+  // port-one: the one protocol that tolerates fault-induced silence (the
+  // handshake algorithms detect it and abort the job, by design).
+  const std::vector<std::string> base{
+      "sweep",   "regular", "--min",  "8",     "--max", "32",
+      "--d",     "3",       "--seed", "7",     "--ndjson",
+      "--algorithm", "port-one",
+      "--model", "async",   "--delay", "uniform:1:6",
+      "--loss",  "0.1",     "--dup",  "0.05",  "--crash", "2"};
+  auto one = base;
+  one.insert(one.end(), {"--threads", "1"});
+  auto many = base;
+  many.insert(many.end(), {"--threads", "8"});
+  const auto a = invoke(one);
+  const auto b = invoke(many);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SweepModelAsyncRejections) {
+  const auto fails = [](std::vector<std::string> extra) {
+    std::vector<std::string> args{"sweep", "cycle", "--min", "8", "--max",
+                                  "8"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return invoke(args).code;
+  };
+  EXPECT_EQ(fails({"--model", "turbo"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--shards", "2"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--delay", "bogus:1"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--delay", "uniform:9:1"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--loss", "1.5"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--loss", "nope"}), 2);
+  EXPECT_EQ(
+      fails({"--model", "async", "--loss", "0.5", "--synchronizer", "on"}),
+      2);
+  EXPECT_EQ(fails({"--model", "async", "--synchronizer", "sideways"}), 2);
+}
+
 }  // namespace
 }  // namespace eds::cli

@@ -222,53 +222,13 @@ TEST(Engine, DifferentialOnRandomMultigraphs) {
   }
 }
 
-/// Relay program: each round forwards exactly what it received the round
-/// before (seeded with a port-distinct message), and halts after
-/// `base + degree` rounds — so nodes of different degrees halt mid-run at
-/// different times while their partners keep relaying.  This is the
-/// adversarial probe for the fused exchange's silence bookkeeping: a
-/// halted node's feed slots are silenced exactly once, at halt time, and
-/// if a stale message ever "ghosted" past that point the relay would
-/// re-send it, diverging message counts, logs and traces from the
-/// seed-semantics oracle.
-class RelayProgram final : public NodeProgram {
- public:
-  explicit RelayProgram(Round base) : base_(base) {}
-  void start(Port degree) override {
-    degree_ = degree;
-    last_.assign(degree, kSilence);
-    for (Port i = 1; i <= degree; ++i) {
-      last_[i - 1] = msg(7, static_cast<std::int32_t>(i));
-    }
-  }
-  void send(Round, std::span<Message> out) override {
-    std::copy(last_.begin(), last_.end(), out.begin());
-  }
-  void receive(Round round, std::span<const Message> in) override {
-    last_.assign(in.begin(), in.end());
-    if (round >= base_ + degree_) halted_ = true;
-  }
-  [[nodiscard]] bool halted() const override { return halted_; }
-  [[nodiscard]] std::vector<Port> output() const override { return {}; }
-
- private:
-  Round base_;
-  Port degree_ = 0;
-  std::vector<Message> last_;
-  bool halted_ = false;
-};
-
-class RelayFactory final : public ProgramFactory {
- public:
-  explicit RelayFactory(Round base) : base_(base) {}
-  [[nodiscard]] std::unique_ptr<NodeProgram> create() const override {
-    return std::make_unique<RelayProgram>(base_);
-  }
-  [[nodiscard]] std::string name() const override { return "relay"; }
-
- private:
-  Round base_;
-};
+// The relay fixture (see test_util.hpp) is the adversarial probe for the
+// fused exchange's silence bookkeeping: a halted node's feed slots are
+// silenced exactly once, at halt time, and if a stale message ever
+// "ghosted" past that point the relay would re-send it, diverging message
+// counts, logs and traces from the seed-semantics oracle.
+using test::RelayFactory;
+using test::RelayProgram;
 
 TEST(Engine, FusedExchangeOnLoopsWithStaggeredHalts) {
   // A handcrafted multigraph covering every involution case the fused
@@ -374,6 +334,28 @@ TEST(Engine, StageProfilingCountsRoundsAndStaysOffByDefault) {
   // With profiling off again, runs leave the counters untouched.
   (void)run_synchronous(pg.ports(), EchoFactory(6));
   EXPECT_TRUE(engine_stage_stats() == after);
+}
+
+TEST(Engine, StageStatsResetZeroesCumulativeCounters) {
+  // The counters are process-cumulative; per-run (or per-mode) attribution
+  // needs a reset between measurements.
+  const auto pg = port::with_canonical_ports(graph::cycle(8));
+  engine_stage_profiling(true);
+  (void)run_synchronous(pg.ports(), EchoFactory(4));
+  engine_stage_profiling(false);
+  EXPECT_GT(engine_stage_stats().profiled_rounds, 0u);
+
+  engine_stage_stats_reset();
+  const auto zeroed = engine_stage_stats();
+  EXPECT_EQ(zeroed.exchange_ns, 0u);
+  EXPECT_EQ(zeroed.receive_ns, 0u);
+  EXPECT_EQ(zeroed.profiled_rounds, 0u);
+
+  // The counters keep working after a reset.
+  engine_stage_profiling(true);
+  const auto result = run_synchronous(pg.ports(), EchoFactory(4));
+  engine_stage_profiling(false);
+  EXPECT_EQ(engine_stage_stats().profiled_rounds, result.stats.rounds);
 }
 
 TEST(Engine, WorklistSkipsHaltedNodes) {

@@ -8,9 +8,12 @@
 // new streams without a code change (used by the `fuzz` ctest label).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "graph/simple_graph.hpp"
 #include "port/port_graph.hpp"
 #include "port/ported_graph.hpp"
+#include "runtime/message.hpp"
 #include "runtime/program.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +67,53 @@ class EchoFactory final : public runtime::ProgramFactory {
 
  private:
   runtime::Round rounds_;
+};
+
+/// Relay program: starts out sending a distinct tag-7 message per port,
+/// then forwards whatever it received last round, halting after
+/// base + degree rounds.  Every received bit feeds the next send, so any
+/// delivery mix-up (wrong slot, stale message, wrong round) cascades into
+/// the remaining rounds — the adversarial fixture of the engine and async
+/// differential suites.
+class RelayProgram final : public runtime::NodeProgram {
+ public:
+  explicit RelayProgram(runtime::Round base) : base_(base) {}
+  void start(port::Port degree) override {
+    degree_ = degree;
+    last_.assign(degree, runtime::kSilence);
+    for (port::Port i = 1; i <= degree; ++i) {
+      last_[i - 1] = runtime::msg(7, static_cast<std::int32_t>(i));
+    }
+  }
+  void send(runtime::Round, std::span<runtime::Message> out) override {
+    std::copy(last_.begin(), last_.end(), out.begin());
+  }
+  void receive(runtime::Round round,
+               std::span<const runtime::Message> in) override {
+    last_.assign(in.begin(), in.end());
+    if (round >= base_ + degree_) halted_ = true;
+  }
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::vector<port::Port> output() const override { return {}; }
+
+ private:
+  runtime::Round base_;
+  port::Port degree_ = 0;
+  std::vector<runtime::Message> last_;
+  bool halted_ = false;
+};
+
+class RelayFactory final : public runtime::ProgramFactory {
+ public:
+  explicit RelayFactory(runtime::Round base) : base_(base) {}
+  [[nodiscard]] std::unique_ptr<runtime::NodeProgram> create()
+      const override {
+    return std::make_unique<RelayProgram>(base_);
+  }
+  [[nodiscard]] std::string name() const override { return "relay"; }
+
+ private:
+  runtime::Round base_;
 };
 
 /// Fixed default master seed for randomised tests.
