@@ -12,11 +12,15 @@
 // committed snapshot via `tools/bench_json.py --compare`.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+
 #include "algo/driver.hpp"
 #include "graph/generators.hpp"
 #include "port/ported_graph.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/message.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/shard.hpp"
 #include "util/rng.hpp"
@@ -50,11 +54,12 @@ class AllocPressure {
   eds::runtime::EngineAllocStats before_;
 };
 
-/// Exports the engine's per-round stage split — exchange (fused
-/// send + direct partner-inbox delivery) vs receive (+ merge) — as
-/// per-iteration nanosecond counters.  Profiling is a process-wide engine
-/// toggle; the helper scopes it to this benchmark so every other
-/// benchmark keeps the timestamp-free hot loop.
+/// Exports the engine's per-round stage split — exchange (send sweep +
+/// tag-lane shadow) vs receive (involution gather + merge), with the
+/// tag-shadow (`scatter_ns`, a component of exchange) and the traffic scan
+/// (`scan_ns`) broken out — as per-iteration nanosecond counters.
+/// Profiling is a process-wide engine toggle; the helper scopes it to this
+/// benchmark so every other benchmark keeps the timestamp-free hot loop.
 class StageSplit {
  public:
   StageSplit() {
@@ -67,15 +72,23 @@ class StageSplit {
 
   void export_into(benchmark::State& state) const {
     const auto after = eds::runtime::engine_stage_stats();
-    state.counters["exchange_ns"] = benchmark::Counter(
-        static_cast<double>(after.exchange_ns - before_.exchange_ns),
-        benchmark::Counter::kAvgIterations);
-    state.counters["receive_ns"] = benchmark::Counter(
-        static_cast<double>(after.receive_ns - before_.receive_ns),
-        benchmark::Counter::kAvgIterations);
+    const auto delta = [&](std::uint64_t EngineStageStats::* field) {
+      return benchmark::Counter(
+          static_cast<double>(after.*field - before_.*field),
+          benchmark::Counter::kAvgIterations);
+    };
+    state.counters["exchange_ns"] =
+        delta(&eds::runtime::EngineStageStats::exchange_ns);
+    state.counters["receive_ns"] =
+        delta(&eds::runtime::EngineStageStats::receive_ns);
+    state.counters["scatter_ns"] =
+        delta(&eds::runtime::EngineStageStats::scatter_ns);
+    state.counters["scan_ns"] =
+        delta(&eds::runtime::EngineStageStats::scan_ns);
   }
 
  private:
+  using EngineStageStats = eds::runtime::EngineStageStats;
   eds::runtime::EngineStageStats before_;
 };
 
@@ -220,6 +233,55 @@ void BM_EngineDense(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineDense)->Arg(16)->Arg(64);
 
+void BM_SilenceScan(benchmark::State& state) {
+  // The per-round traffic scan in isolation: count_nonsilence over a
+  // contiguous int32 tag lane.  Arg 0 is the port count, arg 1 the halted
+  // fraction in permille (a halted node's slots carry tag 0); the scan is
+  // data-independent — same branch-free sweep whatever the mix — so the
+  // three fractions should land on the same ns/op, and a divergence means
+  // the compiler reintroduced a branch.  Exports the measured sweep as
+  // scan_ns and the lane bytes each sweep touches.
+  const auto ports = static_cast<std::size_t>(state.range(0));
+  const auto halted_permille = static_cast<std::uint64_t>(state.range(1));
+  eds::runtime::MessageLanes lanes;
+  lanes.assign_silence(ports);
+  eds::Rng rng(0x5CA7 + ports + halted_permille);
+  for (std::size_t q = 0; q < ports; ++q) {
+    const bool halted = rng.next_u64() % 1000 < halted_permille;
+    if (!halted) {
+      lanes.store(q, eds::runtime::msg(static_cast<std::int32_t>(q + 1)));
+    }
+  }
+  std::uint64_t scan_ns = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto live = eds::runtime::count_nonsilence(lanes.tags(), ports);
+    const auto t1 = std::chrono::steady_clock::now();
+    scan_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    benchmark::DoNotOptimize(live);
+  }
+  state.counters["n"] = static_cast<double>(ports);
+  state.counters["halted_permille"] = static_cast<double>(halted_permille);
+  state.counters["scan_ns"] = benchmark::Counter(
+      static_cast<double>(scan_ns), benchmark::Counter::kAvgIterations);
+  // One int32 lane per sweep — the whole point of the tag shadow is that
+  // the scan never touches the 16-byte Message slots.
+  state.counters["lane_bytes"] =
+      static_cast<double>(ports * sizeof(std::int32_t));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ports) *
+                          static_cast<std::int64_t>(sizeof(std::int32_t)));
+}
+BENCHMARK(BM_SilenceScan)
+    ->Args({4096, 0})
+    ->Args({4096, 500})
+    ->Args({4096, 900})
+    ->Args({100000, 0})
+    ->Args({100000, 500})
+    ->Args({100000, 900});
+
 void BM_BatchSweep(benchmark::State& state) {
   // Batch throughput: 32 independent jobs (random 4-regular, n = 512)
   // fanned across the BatchRunner pool.
@@ -341,4 +403,19 @@ BENCHMARK(BM_ShardedSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the benchmark context records whether this binary was
+// built portable or with -march=native (EDS_NATIVE): tools/bench_json.py
+// carries the flag into artifacts and demotes any native-vs-portable
+// comparison to informational.
+int main(int argc, char** argv) {
+#ifdef EDS_NATIVE_BUILD
+  benchmark::AddCustomContext("eds_native", "ON");
+#else
+  benchmark::AddCustomContext("eds_native", "OFF");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

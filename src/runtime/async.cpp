@@ -86,13 +86,18 @@ struct EventAfter {
   }
 };
 
-/// Per-round input assembly: one slot per port, silence until filled.
+/// Per-round input assembly: one slot per port, silence until filled.  The
+/// slots use the same struct-of-arrays MessageLanes layout as the
+/// synchronous engine's inbox, so both transports exercise one storage
+/// path; receive() still gets the contiguous span<Message> the program API
+/// promises, via a gather into shared scratch.
 struct RoundBuf {
-  std::vector<Message> slots;
+  MessageLanes lanes;
   std::vector<char> have;
 
-  explicit RoundBuf(Port degree)
-      : slots(degree, kSilence), have(degree, 0) {}
+  explicit RoundBuf(Port degree) : have(degree, 0) {
+    lanes.assign_silence(degree);
+  }
 };
 
 struct NodeState {
@@ -172,6 +177,7 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
   };
 
   std::vector<Message> stage;          // send-stage scratch
+  std::vector<Message> recv;           // receive-gather scratch
   std::vector<std::uint64_t> round_messages(1, 0);  // [round] -> non-silence
   Round max_fired = 0;
 
@@ -256,8 +262,9 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
     const Port deg = plan.degree(v);
     const Round r = s.round;
     RoundBuf& buf = ensure_front(s, deg);
-    programs[v]->receive(
-        r, std::span<const Message>(buf.slots.data(), deg));
+    if (recv.size() < deg) recv.resize(deg);
+    buf.lanes.gather(0, deg, recv.data());
+    programs[v]->receive(r, std::span<const Message>(recv.data(), deg));
     max_fired = std::max(max_fired, r);
     s.bufs.pop_front();
     if (programs[v]->halted()) {
@@ -354,7 +361,7 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
           break;
         }
         buf.have[idx] = 1;
-        buf.slots[idx] = e.payload;
+        buf.lanes.store(idx, e.payload);
         ++out.async.delivered;
         if (e.round == s.round) try_fire(e.node, now);
         break;

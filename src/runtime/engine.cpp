@@ -21,7 +21,8 @@ ExecutionPlan::ExecutionPlan(const port::PortGraph& g)
   partner_flat_.resize(total);
   for (std::size_t q = 0; q < total; ++q) {
     const auto dst = partner_ref_[q];
-    partner_flat_[q] = offsets_[dst.node] + dst.port - 1;
+    partner_flat_[q] =
+        static_cast<std::uint32_t>(offsets_[dst.node] + dst.port - 1);
   }
 }
 
@@ -41,26 +42,29 @@ namespace {
 
 /// Per-shard accumulators; merged strictly in shard order so parallel runs
 /// reproduce the sequential order bit for bit.  Cache-line aligned so
-/// neighboring shards' counters never share a line (the stages additionally
-/// accumulate in stack locals and store once per stage).
+/// neighboring shards' counters never share a line.
 struct alignas(64) ShardScratch {
-  std::uint64_t messages_sent = 0;
   std::uint64_t ports_served = 0;
   std::vector<DeliveredMessage> log;
   std::vector<std::size_t> newly_halted;
-  /// One node's outgoing messages, staged here so the program sees the
-  /// contiguous span the NodeProgram API promises, then scattered straight
-  /// into the partners' inbox slots.  Max-degree sized and reused across
-  /// nodes, rounds and runs — the only send-side buffer left after the
-  /// outbox's elimination.
-  std::vector<Message> stage;
+  /// One node's inbound messages, gathered through the involution from the
+  /// current outbox back into the contiguous form receive() promises.
+  /// Max-degree sized and reused across nodes, rounds and runs.
+  std::vector<Message> recv;
+  /// Profiled runs only: per-stage wall time accumulated shard-locally and
+  /// merged by the driver after the barrier.
+  std::uint64_t receive_ns = 0;
+  std::uint64_t exchange_ns = 0;
+  std::uint64_t scatter_ns = 0;
   std::exception_ptr error;
 
   void reset() noexcept {
-    messages_sent = 0;
     ports_served = 0;
     log.clear();
     newly_halted.clear();
+    receive_ns = 0;
+    exchange_ns = 0;
+    scatter_ns = 0;
     error = nullptr;
   }
 };
@@ -77,9 +81,49 @@ std::atomic<std::uint64_t> g_ws_growths{0};
 std::atomic<std::uint64_t> g_ws_bytes{0};
 
 std::atomic<bool> g_stage_profile{false};
+/// Bumped whenever the profiling flag may have changed
+/// (engine_stage_profiling and engine_stage_stats_reset both bump it), so
+/// every lane's cached sample is invalidated and re-read on its next run.
+std::atomic<std::uint64_t> g_profile_epoch{1};
 std::atomic<std::uint64_t> g_exchange_ns{0};
 std::atomic<std::uint64_t> g_receive_ns{0};
+std::atomic<std::uint64_t> g_scatter_ns{0};
+std::atomic<std::uint64_t> g_scan_ns{0};
 std::atomic<std::uint64_t> g_profiled_rounds{0};
+
+/// Per-run sample of the profiling flag, cached per lane behind the epoch
+/// counter: one relaxed epoch load per run on the steady path, a flag
+/// re-sample only after a toggle or a stats reset.
+bool stage_profiling_sample() noexcept {
+  thread_local std::uint64_t seen_epoch = 0;
+  thread_local bool cached = false;
+  const auto epoch = g_profile_epoch.load(std::memory_order_acquire);
+  if (epoch != seen_epoch) {
+    cached = g_stage_profile.load(std::memory_order_relaxed);
+    seen_epoch = epoch;
+  }
+  return cached;
+}
+
+/// One buffer of the double-buffered message transport: the round's
+/// messages indexed by *sender* flat port (node v's sends occupy the
+/// contiguous segment [offset(v), offset(v) + degree(v))), plus the
+/// struct-of-arrays tag lane shadowing slot tags for branch-free sweeps.
+/// Senders write only their own segment (trivially single-writer);
+/// receivers gather through the involution, so delivery itself is free.
+struct OutboxBuffer {
+  std::vector<Message> slots;
+  std::vector<std::int32_t> tag;  // tag[q] == slots[q].tag, always
+
+  void assign_silence(std::size_t count) {
+    slots.assign(count, kSilence);
+    tag.assign(count, 0);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return slots.capacity() * sizeof(Message) +
+           tag.capacity() * sizeof(std::int32_t);
+  }
+};
 
 /// The pooled message transport: every buffer the round loop writes lives
 /// here and is *assigned* (size + contents reset, capacity retained) at the
@@ -87,9 +131,13 @@ std::atomic<std::uint64_t> g_profiled_rounds{0};
 /// per thread, so sequential runs, BatchRunner jobs (one job per pool lane)
 /// and BatchStream drivers each reuse their lane's arena run after run.
 struct EngineWorkspace {
-  std::vector<Message> inbox;
+  /// The double buffer: one set of slots + tag lane holds round r's
+  /// messages while round r + 1's sends land in the other; they swap after
+  /// every round's single barrier.
+  OutboxBuffer outbox[2];
   std::vector<char> halted;
   std::vector<std::size_t> active;
+  std::vector<std::size_t> bounds;  // shard boundaries, shards + 1 entries
   std::vector<ShardScratch> scratch;
   bool in_use = false;       // re-entrancy guard (see acquire below)
   std::size_t bytes = 0;     // last accounted footprint
@@ -109,23 +157,25 @@ struct EngineWorkspace {
     for (const auto& sc : scratch) {
       scratch_bytes += sc.log.capacity() * sizeof(DeliveredMessage) +
                        sc.newly_halted.capacity() * sizeof(std::size_t) +
-                       sc.stage.capacity() * sizeof(Message);
+                       sc.recv.capacity() * sizeof(Message);
     }
-    return inbox.capacity() * sizeof(Message) + halted.capacity() +
-           active.capacity() * sizeof(std::size_t) +
+    return outbox[0].memory_bytes() + outbox[1].memory_bytes() +
+           halted.capacity() + active.capacity() * sizeof(std::size_t) +
+           bounds.capacity() * sizeof(std::size_t) +
            scratch.capacity() * sizeof(ShardScratch) + scratch_bytes;
   }
 
   /// Resets the buffers for a run over `n` nodes / `total_ports` ports with
   /// `lanes` shards, growing capacity only when this lane has never seen a
-  /// graph this large.  The fused exchange keeps a single message buffer:
-  /// one inbox assign is the whole per-run message-lane reset (the old
-  /// pipeline cleared an equally sized outbox as well).
+  /// graph this large.  Both buffers reset to silence: the double buffer is
+  /// the workspace's deliberate second total_ports-sized allocation, bought
+  /// to run each round behind a single barrier.
   void prepare(std::size_t n, std::size_t total_ports, unsigned lanes) {
-    const bool grows = total_ports > inbox.capacity() ||
+    const bool grows = total_ports > outbox[0].slots.capacity() ||
                        n > halted.capacity() || n > active.capacity() ||
                        lanes > scratch.size();
-    inbox.assign(total_ports, kSilence);
+    outbox[0].assign_silence(total_ports);
+    outbox[1].assign_silence(total_ports);
     halted.assign(n, 0);
     active.clear();
     active.reserve(n);
@@ -193,12 +243,15 @@ EngineAllocStats engine_alloc_stats() noexcept {
 
 void engine_stage_profiling(bool enabled) noexcept {
   g_stage_profile.store(enabled, std::memory_order_relaxed);
+  g_profile_epoch.fetch_add(1, std::memory_order_release);
 }
 
 EngineStageStats engine_stage_stats() noexcept {
   EngineStageStats stats;
   stats.exchange_ns = g_exchange_ns.load(std::memory_order_relaxed);
   stats.receive_ns = g_receive_ns.load(std::memory_order_relaxed);
+  stats.scatter_ns = g_scatter_ns.load(std::memory_order_relaxed);
+  stats.scan_ns = g_scan_ns.load(std::memory_order_relaxed);
   stats.profiled_rounds = g_profiled_rounds.load(std::memory_order_relaxed);
   return stats;
 }
@@ -206,7 +259,12 @@ EngineStageStats engine_stage_stats() noexcept {
 void engine_stage_stats_reset() noexcept {
   g_exchange_ns.store(0, std::memory_order_relaxed);
   g_receive_ns.store(0, std::memory_order_relaxed);
+  g_scatter_ns.store(0, std::memory_order_relaxed);
+  g_scan_ns.store(0, std::memory_order_relaxed);
   g_profiled_rounds.store(0, std::memory_order_relaxed);
+  // Invalidate every lane's cached flag sample: a toggle that raced the
+  // previous measurement window is picked up by the very next run.
+  g_profile_epoch.fetch_add(1, std::memory_order_release);
 }
 
 RunResult run_plan(const ExecutionPlan& plan,
@@ -221,10 +279,12 @@ RunResult run_plan(const ExecutionPlan& plan,
   EDS_ENSURE(programs.size() == n, "run_plan: one program per node required");
 
   const unsigned lanes = std::max(1u, policy.lanes());
+  const std::size_t total_ports = plan.total_ports();
   const WorkspaceLease lease;
   EngineWorkspace& ws = *lease;
-  ws.prepare(n, plan.total_ports(), lanes);
-  std::vector<Message>& inbox = ws.inbox;
+  ws.prepare(n, total_ports, lanes);
+  OutboxBuffer* cur = &ws.outbox[0];  // holds round r's messages
+  OutboxBuffer* nxt = &ws.outbox[1];  // round r + 1's sends land here
 
   // The worklist: indices of non-halted nodes, always sorted ascending (it
   // only ever loses elements), so contiguous shard ranges visit nodes in
@@ -243,143 +303,263 @@ RunResult run_plan(const ExecutionPlan& plan,
 
   RunResult result;
   result.messages_collected = options.collect_messages;
+  const bool collect = options.collect_messages;
   RunStats& stats = result.stats;
 
   std::vector<ShardScratch>& scratch = ws.scratch;
+  std::vector<std::size_t>& bounds = ws.bounds;
 
-  // Stage profiling: the flag is sampled once per run, so a disabled run
-  // takes no timestamps at all (two clock reads per round otherwise).
-  const bool profile = g_stage_profile.load(std::memory_order_relaxed);
+  // Stage profiling: the flag is sampled once per run (epoch-cached per
+  // lane), so a disabled run takes no timestamps at all.  Profiled runs
+  // drive each shard as separate receive / send / tag-shadow sweeps so the
+  // split can be timed at shard granularity — bit-identical results, since
+  // programs only observe their own call sequence.
+  const bool profile = stage_profiling_sample();
   using ProfileClock = std::chrono::steady_clock;
+  const auto elapsed_ns = [](ProfileClock::time_point from,
+                             ProfileClock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+  };
   std::uint64_t exchange_ns = 0;
   std::uint64_t receive_ns = 0;
+  std::uint64_t scatter_ns = 0;
+  std::uint64_t scan_ns = 0;
+
+  // Stages node v's round-r sends: its contiguous outbox segment is reset
+  // to silence (a program sends only by writing this round, so stale
+  // messages never "ghost" into later ones) and the program writes message
+  // structs straight into it — no intermediate staging buffer, all stores
+  // sequential, and single-writer-per-slot holds trivially because every
+  // slot belongs to exactly one sender.
+  const auto send_node = [&](ShardScratch& sc, std::size_t v, Round r,
+                             OutboxBuffer& to) {
+    const Port deg = plan.degree(v);
+    const std::size_t off = plan.offset(v);
+    Message* const seg = to.slots.data() + off;
+    std::fill_n(seg, deg, kSilence);
+    programs[v]->send(r, std::span<Message>(seg, deg));
+    sc.ports_served += deg;
+    if (collect) {
+      for (Port i = 0; i < deg; ++i) {
+        if (!seg[i].is_silence()) {
+          sc.log.push_back({r,
+                            {static_cast<port::NodeId>(v),
+                             static_cast<Port>(i + 1)},
+                            plan.partner_ref(off + i),
+                            seg[i]});
+        }
+      }
+    }
+  };
+
+  // Mirrors v's freshly written segment tags into the buffer's flat
+  // struct-of-arrays tag lane — a contiguous strided copy, so the
+  // per-round traffic count and the silence accounting sweep a flat int32
+  // lane branch-free instead of striding over 16-byte structs.
+  const auto shadow_tags = [&](std::size_t v, OutboxBuffer& to) {
+    const Port deg = plan.degree(v);
+    const std::size_t off = plan.offset(v);
+    const Message* const seg = to.slots.data() + off;
+    std::int32_t* const tags = to.tag.data() + off;
+    for (Port i = 0; i < deg; ++i) tags[i] = seg[i].tag;
+  };
+
+  // Gathers v's round-r inputs from the current buffer through the
+  // involution — in[i] = cur[partner(offset(v) + i)] — and fires
+  // receive().  Delivery IS this gather: messages are never copied between
+  // send and receive, the permutation is applied on the read side where
+  // loads pipeline (scattered stores pay a read-for-ownership per cache
+  // line), and halted receivers never pay for it at all.
+  const auto receive_node = [&](ShardScratch& sc, std::size_t v, Round r,
+                                const OutboxBuffer& from) {
+    const Port deg = plan.degree(v);
+    const std::size_t off = plan.offset(v);
+    if (sc.recv.size() < deg) sc.recv.resize(deg);
+    Message* const in = sc.recv.data();
+    const Message* const slots = from.slots.data();
+    for (Port i = 0; i < deg; ++i) {
+      in[i] = slots[plan.partner_flat(off + i)];
+    }
+    programs[v]->receive(r, std::span<const Message>(in, deg));
+  };
+
+  // Computes this round's shard boundaries: port-count balanced, so a
+  // power-law worklist cannot pile most of the traffic onto one lane.  Any
+  // contiguous partition of the ascending worklist preserves the
+  // shard-order merge, hence bit-identical results.
+  const auto shard_bounds = [&](std::size_t shards) {
+    balanced_shard_bounds(
+        active.size(), shards,
+        [&](std::size_t idx) {
+          return static_cast<std::uint64_t>(plan.degree(active[idx]));
+        },
+        bounds);
+  };
+
+  // `pending` is the number of non-silence messages in the buffer the next
+  // receive sweep will read: one branch-free sweep over its tag lane.
+  // Exact because every slot either carries a fresh write from an active
+  // sender or was zeroed when its owning node halted.
+  std::uint64_t pending = 0;
+  const auto scan_pending = [&](const OutboxBuffer& buf) {
+    if (profile) {
+      const auto t0 = ProfileClock::now();
+      pending = count_nonsilence(buf.tag.data(), total_ports);
+      scan_ns += elapsed_ns(t0, ProfileClock::now());
+    } else {
+      pending = count_nonsilence(buf.tag.data(), total_ports);
+    }
+    stats.messages_sent += pending;
+  };
+
+  // Initial exchange: round 1's sends land in `cur` before the loop, so
+  // every later round can fuse "receive round r" and "send round r + 1"
+  // behind one barrier.
+  if (!active.empty()) {
+    const std::size_t shards = std::min<std::size_t>(lanes, active.size());
+    shard_bounds(shards);
+    for (std::size_t s = 0; s < shards; ++s) scratch[s].reset();
+    policy.for_each_shard(shards, [&](std::size_t s) {
+      ShardScratch& sc = scratch[s];
+      try {
+        if (!profile) {
+          for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+            send_node(sc, active[idx], 1, *cur);
+            shadow_tags(active[idx], *cur);
+          }
+        } else {
+          const auto t0 = ProfileClock::now();
+          for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+            send_node(sc, active[idx], 1, *cur);
+          }
+          const auto t1 = ProfileClock::now();
+          for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+            shadow_tags(active[idx], *cur);
+          }
+          const auto t2 = ProfileClock::now();
+          sc.exchange_ns += elapsed_ns(t0, t2);
+          sc.scatter_ns += elapsed_ns(t1, t2);
+        }
+      } catch (...) {
+        sc.error = std::current_exception();
+      }
+    });
+    rethrow_first(scratch, shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const ShardScratch& sc = scratch[s];
+      stats.ports_served += sc.ports_served;
+      if (collect) {
+        result.message_log.insert(result.message_log.end(), sc.log.begin(),
+                                  sc.log.end());
+      }
+      exchange_ns += sc.exchange_ns;
+      scatter_ns += sc.scatter_ns;
+    }
+    scan_pending(*cur);
+  }
 
   Round round = 0;
   while (!active.empty()) {
     ++round;
-    if (round > options.max_rounds) {
-      std::ostringstream os;
-      os << "run_synchronous: algorithm '" << name << "' did not halt within "
-         << options.max_rounds << " rounds (" << active.size() << " of " << n
-         << " nodes still running)";
-      throw ExecutionError(os.str());
-    }
+    const Round next = round + 1;
+    const bool send_next = next <= options.max_rounds;
 
-    const std::size_t shards =
-        std::min<std::size_t>(lanes, active.size());
-    const auto shard_begin = [&](std::size_t s) {
-      return active.size() * s / shards;
-    };
+    const std::size_t shards = std::min<std::size_t>(lanes, active.size());
+    shard_bounds(shards);
     for (std::size_t s = 0; s < shards; ++s) scratch[s].reset();
 
-    ProfileClock::time_point stage_start;
-    if (profile) stage_start = ProfileClock::now();
-
-    // Exchange (fused send + delivery): every active node stages its
-    // outgoing messages in the shard-local buffer — defaulted to silence
-    // each round, so a program sends only by writing this round and stale
-    // messages never "ghost" into later ones — then writes each one
-    // straight into its partner's inbox slot: the message sent on port
-    // (v, i) is received from port (u, j) where p(v, i) = (u, j); fixed
-    // points deliver to the sender itself.  Race-free under sharding:
-    // each inbox slot has exactly one partner port (p is an involution),
-    // hence exactly one writer, and no shard *reads* the inbox until the
-    // barrier below.  Inbox slots whose feeding partner halted were
-    // silenced at halt time and are never written again.
+    // The fused round stage, ONE barrier: every active node gathers and
+    // receives its round-r input from `cur`, then — unless it halted, or
+    // round r + 1 would exceed the cap — writes round r + 1 into its own
+    // segment of `nxt`.  `cur` is read-only for the whole stage and every
+    // `nxt` segment has exactly one writer (its owner), so shards never
+    // contend; a directed self-loop reads its own `cur` segment and writes
+    // `nxt`, never racing itself.  Halt flags are written only by the
+    // shard that owns the node and read only by that shard until the
+    // barrier.
     policy.for_each_shard(shards, [&](std::size_t s) {
       ShardScratch& sc = scratch[s];
       try {
-        std::uint64_t ports_served = 0;
-        std::uint64_t messages_sent = 0;
-        std::vector<Message>& stage = sc.stage;
-        const std::size_t end = shard_begin(s + 1);
-        for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
-          const std::size_t v = active[idx];
-          const Port deg = plan.degree(v);
-          stage.assign(deg, kSilence);
-          programs[v]->send(round, std::span<Message>(stage.data(), deg));
-          ports_served += deg;
-          const std::size_t off = plan.offset(v);
-          for (Port i = 1; i <= deg; ++i) {
-            const std::size_t q = off + i - 1;
-            const Message& m = stage[i - 1];
-            inbox[plan.partner_flat(q)] = m;
-            if (!m.is_silence()) {
-              ++messages_sent;
-              if (options.collect_messages) {
-                sc.log.push_back({round,
-                                  {static_cast<port::NodeId>(v), i},
-                                  plan.partner_ref(q),
-                                  m});
-              }
+        if (!profile) {
+          for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+            const std::size_t v = active[idx];
+            receive_node(sc, v, round, *cur);
+            if (programs[v]->halted()) {
+              halted[v] = 1;
+              sc.newly_halted.push_back(v);
+            } else if (send_next) {
+              send_node(sc, v, next, *nxt);
+              shadow_tags(v, *nxt);
             }
           }
+        } else {
+          // Profiled: the same work as separate receive / send / shadow
+          // sweeps, timed at shard granularity.  Programs observe the same
+          // per-node call sequence, logs are collected in the same
+          // ascending node order — bit-identical to the fused path.
+          const auto t0 = ProfileClock::now();
+          for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+            const std::size_t v = active[idx];
+            receive_node(sc, v, round, *cur);
+            if (programs[v]->halted()) {
+              halted[v] = 1;
+              sc.newly_halted.push_back(v);
+            }
+          }
+          const auto t1 = ProfileClock::now();
+          if (send_next) {
+            for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+              const std::size_t v = active[idx];
+              if (!halted[v]) send_node(sc, v, next, *nxt);
+            }
+          }
+          const auto t2 = ProfileClock::now();
+          if (send_next) {
+            for (std::size_t idx = bounds[s]; idx < bounds[s + 1]; ++idx) {
+              const std::size_t v = active[idx];
+              if (!halted[v]) shadow_tags(v, *nxt);
+            }
+          }
+          const auto t3 = ProfileClock::now();
+          sc.receive_ns += elapsed_ns(t0, t1);
+          sc.exchange_ns += elapsed_ns(t1, t3);
+          sc.scatter_ns += elapsed_ns(t2, t3);
         }
-        sc.ports_served = ports_served;
-        sc.messages_sent = messages_sent;
       } catch (...) {
         sc.error = std::current_exception();
       }
     });
     rethrow_first(scratch, shards);
 
-    if (profile) {
-      const auto now = ProfileClock::now();
-      exchange_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              now - stage_start)
-              .count());
-      stage_start = now;
-    }
-
-    // Receive: may flip nodes to halted; the flips are recorded per shard
-    // and applied after the barrier so the worklist is never mutated
-    // concurrently.
-    policy.for_each_shard(shards, [&](std::size_t s) {
-      ShardScratch& sc = scratch[s];
-      try {
-        const std::size_t end = shard_begin(s + 1);
-        for (std::size_t idx = shard_begin(s); idx < end; ++idx) {
-          const std::size_t v = active[idx];
-          const std::span<const Message> in(&inbox[plan.offset(v)],
-                                            plan.degree(v));
-          programs[v]->receive(round, in);
-          if (programs[v]->halted()) sc.newly_halted.push_back(v);
-        }
-      } catch (...) {
-        sc.error = std::current_exception();
-      }
-    });
-    rethrow_first(scratch, shards);
-
-    // Merge, strictly in shard order.  The exchange stage counts each
-    // non-silence message exactly once, at the moment it is delivered, so
-    // one per-shard counter feeds both the aggregate messages_sent and the
-    // per-round trace (the old pipeline counted the same slots twice, once
-    // in send and once in route).
-    std::uint64_t round_messages = 0;
+    // Merge, strictly in shard order.  A halting node's *own* segment is
+    // silenced in BOTH buffers — two contiguous fills, no scattered
+    // writes: in `nxt` it holds stale round r - 1 sends (the node sent
+    // nothing this stage), in `cur` its round-r sends — and `cur` becomes
+    // the send target at round r + 1, so either copy would ghost into a
+    // later round's gathers once the node stops overwriting it.  After
+    // this, a halted node's partners read silence from it forever.
+    ProfileClock::time_point merge_start;
+    if (profile) merge_start = ProfileClock::now();
     bool any_halted = false;
     for (std::size_t s = 0; s < shards; ++s) {
       const ShardScratch& sc = scratch[s];
-      stats.messages_sent += sc.messages_sent;
       stats.ports_served += sc.ports_served;
-      round_messages += sc.messages_sent;
-      if (options.collect_messages) {
+      if (collect) {
         result.message_log.insert(result.message_log.end(), sc.log.begin(),
                                   sc.log.end());
       }
+      receive_ns += sc.receive_ns;
+      exchange_ns += sc.exchange_ns;
+      scatter_ns += sc.scatter_ns;
       for (const std::size_t v : sc.newly_halted) {
         any_halted = true;
-        halted[v] = 1;
-        // A halted node sends silence forever.  With no outbox to clear,
-        // the whole bookkeeping is one write per port: silence the inbox
-        // slots its ports feed — the node left the worklist, so the fused
-        // exchange never writes them again and its partners keep reading
-        // silence for the rest of the run.
         const Port deg = plan.degree(v);
         const std::size_t off = plan.offset(v);
-        for (Port i = 1; i <= deg; ++i) {
-          inbox[plan.partner_flat(off + i - 1)] = kSilence;
+        for (OutboxBuffer* buf : {cur, nxt}) {
+          std::fill_n(buf->slots.data() + off, deg, kSilence);
+          std::fill_n(buf->tag.data() + off, deg, std::int32_t{0});
         }
       }
     }
@@ -388,20 +568,29 @@ RunResult run_plan(const ExecutionPlan& plan,
     }
 
     if (options.collect_trace) {
-      result.trace.push_back({round, round_messages, n - active.size()});
+      result.trace.push_back({round, pending, n - active.size()});
+    }
+    if (profile) {
+      receive_ns += elapsed_ns(merge_start, ProfileClock::now());
     }
 
-    if (profile) {
-      receive_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              ProfileClock::now() - stage_start)
-              .count());
+    if (active.empty()) break;
+    if (!send_next) {
+      std::ostringstream os;
+      os << "run_synchronous: algorithm '" << name << "' did not halt within "
+         << options.max_rounds << " rounds (" << active.size() << " of " << n
+         << " nodes still running)";
+      throw ExecutionError(os.str());
     }
+    scan_pending(*nxt);
+    std::swap(cur, nxt);
   }
 
   if (profile) {
     g_exchange_ns.fetch_add(exchange_ns, std::memory_order_relaxed);
     g_receive_ns.fetch_add(receive_ns, std::memory_order_relaxed);
+    g_scatter_ns.fetch_add(scatter_ns, std::memory_order_relaxed);
+    g_scan_ns.fetch_add(scan_ns, std::memory_order_relaxed);
     g_profiled_rounds.fetch_add(round, std::memory_order_relaxed);
   }
 

@@ -9,24 +9,35 @@
 //    arrays (degrees, port offsets, the involution as flat indices), so the
 //    inner loops never pay PortGraph's bounds-checked lookups.
 //
-//  * Policies schedule the two per-round stages (exchange, receive) over
-//    an *active-node worklist*: nodes that halted are removed, so a long
-//    tail of halted nodes costs zero per round.  SequentialPolicy runs the
-//    stages inline; ParallelPolicy shards the worklist into contiguous
-//    ranges across a thread pool with one barrier between the stages.  The
-//    exchange stage is *fused*: a sender stages its messages in a tiny
-//    per-shard buffer and writes them straight into the partner's inbox
-//    slot — plan.partner_flat(q) is known at send time, and each inbox
-//    slot has exactly one writing partner port (p is an involution), so
-//    shards never contend.  There is no outbox array and no routing pass:
-//    the fusion removed a full total_ports-sized Message copy per round
-//    and one barrier per round relative to the original send/route/receive
-//    pipeline.
+//  * Policies schedule the round loop over an *active-node worklist*:
+//    nodes that halted are removed, so a long tail of halted nodes costs
+//    zero per round.  SequentialPolicy runs the shards inline;
+//    ParallelPolicy spreads them across a thread pool.  Shard boundaries
+//    equalize *port* counts, not node counts (balanced_shard_bounds), so
+//    power-law degree sequences cannot starve all lanes but one.
+//
+//  * Message transport is sender-indexed and double-buffered: each buffer
+//    holds one round's messages at their *senders'* flat ports (programs
+//    write straight into their own contiguous segment — sequential stores,
+//    no staging copy, single-writer by construction) plus a flat
+//    struct-of-arrays tag lane shadowing the slot tags.  Each round runs
+//    ONE sharded stage behind ONE barrier: a node gathers its round-r
+//    input from the current buffer *through the involution* (delivery IS
+//    the gather — the permutation is applied on the read side, where loads
+//    pipeline, instead of as scattered stores), then — unless it halted —
+//    writes round r+1 into its own segment of the next buffer; the buffers
+//    swap after the barrier.  The per-round traffic count is a branch-free
+//    count_nonsilence sweep over the tag lane, and a halting node is
+//    silenced with two contiguous fills of its own segment.  (A full
+//    four-lane SoA split of Message storage was measured and rejected: the
+//    permutation step then touches four cache lines per message instead of
+//    one, ~4x slower on dense graphs — see ARCHITECTURE.md.)
 //
 // Hard guarantee, enforced by differential tests: every policy produces
 // bit-identical RunResults — outputs, stats, trace, and message-log order.
 // Parallel merges always combine per-shard results in shard (= node-range)
-// order, which is exactly the sequential order.
+// order, which is exactly the sequential order; see ARCHITECTURE.md for
+// the full double-buffer determinism argument.
 #pragma once
 
 #include <atomic>
@@ -68,6 +79,9 @@ class ExecutionPlan {
     return offsets_[v];
   }
   /// Flat index of the involution partner of flat port q (unchecked).
+  /// Stored as uint32 — the table is swept once per round by the receive
+  /// gather, so halving its bytes is a straight hot-loop bandwidth win
+  /// (total_ports above 2^32 is far beyond this simulator's reach).
   [[nodiscard]] std::size_t partner_flat(std::size_t q) const noexcept {
     return partner_flat_[q];
   }
@@ -101,9 +115,9 @@ class ExecutionPlan {
   static inline std::atomic<std::uint64_t> constructed_{0};
 
   std::vector<Port> degrees_;
-  std::vector<std::size_t> offsets_;       // prefix sums of degrees
-  std::vector<std::size_t> partner_flat_;  // involution over flat indices
-  std::vector<port::PortRef> partner_ref_; // involution as (node, port)
+  std::vector<std::size_t> offsets_;        // prefix sums of degrees
+  std::vector<std::uint32_t> partner_flat_; // involution over flat indices
+  std::vector<port::PortRef> partner_ref_;  // involution as (node, port)
 };
 
 /// How the per-round stages are scheduled.  A policy is reusable across
@@ -116,7 +130,8 @@ class ExecutionPolicy {
   [[nodiscard]] virtual unsigned lanes() const noexcept = 0;
 
   /// Executes fn(s) for every shard s in [0, shards) and returns when all
-  /// calls have finished (the inter-stage barrier).  `fn` must not throw.
+  /// calls have finished (the once-per-round barrier).  `fn` must not
+  /// throw.
   virtual void for_each_shard(
       std::size_t shards, const std::function<void(std::size_t)>& fn) = 0;
 };
@@ -161,12 +176,14 @@ class ParallelPolicy final : public ExecutionPolicy {
 /// `policy`.  This is the engine core under run_synchronous; call it
 /// directly to reuse a plan or a policy (and its thread pool) across runs.
 ///
-/// Message transport is pooled: the single inbox lane (the fused exchange
-/// has no outbox), the worklist and the per-shard scratch all live in a
+/// Message transport is pooled: both outbox buffers (message slots + tag
+/// lane each), the worklist and the per-shard scratch all live in a
 /// per-thread workspace that is reset (not reallocated) between rounds and
 /// reused across runs, so repeated executions on one lane perform no
 /// per-run buffer allocation once the workspace has grown to the largest
-/// graph seen.
+/// graph seen.  The double buffer costs a second total_ports-sized slot
+/// array + tag lane of pooled bytes — the price of running each round
+/// behind a single barrier.
 [[nodiscard]] RunResult run_plan(
     const ExecutionPlan& plan,
     std::vector<std::unique_ptr<NodeProgram>>& programs,
@@ -190,22 +207,36 @@ struct EngineAllocStats {
 [[nodiscard]] EngineAllocStats engine_alloc_stats() noexcept;
 
 /// Round-stage wall-time split, accumulated by run_plan while profiling is
-/// enabled (process-wide, monotonic).  The counters time the two stages of
-/// the fused round loop: `exchange_ns` covers send + direct partner-inbox
-/// delivery (including the inter-stage barrier under ParallelPolicy),
-/// `receive_ns` covers receive plus the shard-order merge and worklist
-/// maintenance.  bench_micro_runtime exports the deltas per benchmark.
+/// enabled (process-wide, monotonic).  `exchange_ns` covers the send sweep
+/// (outbox segment writes) + the tag-lane shadow sweep (including the
+/// round barrier under ParallelPolicy); `scatter_ns` is the tag-lane
+/// shadow sweep alone — the cost of maintaining the struct-of-arrays tag
+/// lane — a subset of `exchange_ns`; `receive_ns` covers the involution
+/// gather + receive sweep plus the shard-order merge and worklist
+/// maintenance; `scan_ns` is the per-round traffic count over the tag lane
+/// (in none of the others).  Per profiled round, exchange_ns + receive_ns
+/// + scan_ns ≈ wall time.
+///
+/// Timing the split at shard granularity requires per-stage sweeps, so a
+/// profiled run drives each shard as receive -> send -> tag-shadow passes
+/// instead of the fused per-node loop — bit-identical results, roughly ten
+/// percent of overhead on dense graphs (the split sweeps re-traverse the
+/// outbox once more).  bench_micro_runtime exports the deltas per
+/// benchmark.
 struct EngineStageStats {
-  std::uint64_t exchange_ns = 0;       ///< fused send+deliver stage
-  std::uint64_t receive_ns = 0;        ///< receive stage + round merge
+  std::uint64_t exchange_ns = 0;       ///< send + tag-shadow sweeps
+  std::uint64_t receive_ns = 0;        ///< gather+receive sweep + merge
+  std::uint64_t scatter_ns = 0;        ///< tag-shadow sweep (⊂ exchange_ns)
+  std::uint64_t scan_ns = 0;           ///< per-round tag-lane traffic scan
   std::uint64_t profiled_rounds = 0;   ///< rounds timed while enabled
 
   [[nodiscard]] bool operator==(const EngineStageStats&) const = default;
 };
 
-/// Toggles stage profiling (default off).  The hot loop reads the flag
-/// once per run, so enabling it mid-run affects the *next* run; when off,
-/// the round loop takes no timestamps at all.
+/// Toggles stage profiling (default off).  The hot loop samples the flag
+/// once per run (through a per-thread epoch cache), so enabling it mid-run
+/// affects the *next* run; when off, the round loop takes no timestamps at
+/// all.
 void engine_stage_profiling(bool enabled) noexcept;
 
 /// Snapshot of the stage-timing counters.
@@ -214,7 +245,9 @@ void engine_stage_profiling(bool enabled) noexcept;
 /// Zeroes the stage-timing counters.  They are process-wide and cumulative
 /// across runs, so per-run (or per-mode, e.g. sync vs async) attribution
 /// needs a reset between measurements; callers that prefer deltas can keep
-/// snapshotting instead.
+/// snapshotting instead.  The reset also invalidates every lane's cached
+/// sample of the profiling flag, so a toggle followed by a reset is picked
+/// up by the very next run on any thread.
 void engine_stage_stats_reset() noexcept;
 
 }  // namespace eds::runtime

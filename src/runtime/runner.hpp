@@ -39,11 +39,12 @@ class Executor;
 /// α-synchronizer it is bit-identical too (that equivalence is itself a
 /// differential oracle), without it results may legitimately differ.
 struct ExecOptions {
-  /// Lanes to execute each round's exchange/receive stages on:
-  /// 1 = SequentialPolicy (default), >1 = ParallelPolicy with that many
-  /// lanes, 0 = ParallelPolicy with one lane per hardware thread.  At the
-  /// batch level (`algo::run_batch`) this is instead the number of
-  /// concurrent jobs of the in-process backend.
+  /// Lanes to shard each round's fused gather/receive/send pass over
+  /// (contiguous worklist ranges balanced by port count, one barrier per
+  /// round): 1 = SequentialPolicy (default), >1 = ParallelPolicy with
+  /// that many lanes, 0 = ParallelPolicy with one lane per hardware
+  /// thread.  At the batch level (`algo::run_batch`) this is instead the
+  /// number of concurrent jobs of the in-process backend.
   unsigned threads = 1;
 
   /// When set, the ExecutionPlan is fetched from (and shared through) this

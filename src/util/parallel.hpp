@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -24,6 +25,47 @@ namespace eds {
 /// huge request must not exhaust OS threads.
 inline constexpr unsigned kMaxLanes = 256;
 [[nodiscard]] unsigned resolve_threads(unsigned requested) noexcept;
+
+/// Splits item indices [0, items) into `shards` contiguous ranges whose
+/// weight totals are as equal as a contiguous split allows, writing the
+/// shards + 1 ascending boundaries into `bounds` (bounds[0] = 0,
+/// bounds[shards] = items; shard s is [bounds[s], bounds[s + 1])).  The
+/// engine uses this with per-node port counts as weights, so lanes get
+/// equal *work* rather than equal node counts — on a power-law degree
+/// sequence an equal-count split can hand one lane most of the ports.
+///
+/// Boundary s lands after the first item whose weight prefix reaches
+/// total * s / shards; a single heavy item can absorb several targets, in
+/// which case the following shards come out empty (callers iterate empty
+/// ranges harmlessly).  All-zero weights fall back to an equal-count
+/// split.  `weight_of(i)` must be pure; it is evaluated at most twice per
+/// item.  Determinism note: results depend only on (weights, shards) —
+/// never on thread scheduling — and any contiguous partition preserves a
+/// shard-order merge, so the split cannot affect results, only balance.
+template <typename WeightFn>
+void balanced_shard_bounds(std::size_t items, std::size_t shards,
+                           WeightFn&& weight_of,
+                           std::vector<std::size_t>& bounds) {
+  if (shards == 0) shards = 1;
+  bounds.assign(shards + 1, items);
+  bounds[0] = 0;
+  if (shards == 1 || items == 0) return;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < items; ++i) total += weight_of(i);
+  if (total == 0) {
+    for (std::size_t s = 1; s < shards; ++s) bounds[s] = items * s / shards;
+    return;
+  }
+  std::uint64_t prefix = 0;
+  std::size_t s = 1;
+  for (std::size_t i = 0; i < items && s < shards; ++i) {
+    prefix += weight_of(i);
+    while (s < shards && prefix * shards >= total * s) {
+      bounds[s] = i + 1;
+      ++s;
+    }
+  }
+}
 
 /// Persistent fork-join pool with `lanes` concurrent lanes (the calling
 /// thread is one of them, so `lanes - 1` workers are spawned).

@@ -1,0 +1,195 @@
+// The rebuilt message transport (sender-indexed double-buffered outbox,
+// struct-of-arrays tag lane, degree-balanced shard boundaries) against the
+// policy-free seed oracle: bit-identity across lane counts on the degree
+// distributions that stress lane balancing hardest, byte-level accounting
+// for the pooled buffers, and the profiling-flag epoch cache.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "port/ported_graph.hpp"
+#include "port/random_port_graph.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/message.hpp"
+#include "runtime/runner.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "test_util.hpp"
+
+namespace eds::runtime {
+namespace {
+
+using test::EchoFactory;
+using test::reference_run;
+
+/// Runs `g` under every lane count in `lane_counts` (plus the oracle) and
+/// demands bit-identical RunResults.  The worst-case inputs here are
+/// degree-skewed: balanced_shard_bounds hands lanes very different node
+/// counts, and empty shards are possible — none of which may leak into
+/// results.
+void expect_lane_counts_match(const port::PortGraph& g,
+                              const ProgramFactory& factory,
+                              const char* label) {
+  RunOptions options;
+  options.collect_trace = true;
+  options.collect_messages = true;
+  const auto expected = reference_run(g, factory, options);
+  for (const unsigned threads : {1u, 2u, 8u, 16u}) {
+    options.exec.threads = threads;
+    const auto got = run_synchronous(g, factory, options);
+    EXPECT_TRUE(got == expected)
+        << label << ": threads=" << threads
+        << " diverged from the seed oracle (rounds " << got.stats.rounds
+        << " vs " << expected.stats.rounds << ", messages "
+        << got.stats.messages_sent << " vs " << expected.stats.messages_sent
+        << ", log " << got.message_log.size() << " vs "
+        << expected.message_log.size() << ")";
+  }
+}
+
+TEST(EngineSoa, PowerLawDifferentialAcrossLaneCounts) {
+  // Power-law degrees: a few heavy nodes absorb several port-balanced
+  // boundary targets, so some shards come out empty and the rest carry
+  // wildly uneven node counts.
+  auto rng = test::make_rng(0x50A1);
+  const auto pg =
+      port::with_random_ports(graph::random_power_law(300, 2.1, rng), rng);
+  expect_lane_counts_match(pg.ports(), EchoFactory(5), "power-law");
+}
+
+TEST(EngineSoa, StarDifferentialAcrossLaneCounts) {
+  // The star is the extreme imbalance: the hub holds half of all ports, so
+  // every port-balanced split puts it alone in one shard.
+  auto rng = test::make_rng(0x57A2);
+  const auto pg = port::with_random_ports(graph::star(64), rng);
+  expect_lane_counts_match(pg.ports(), EchoFactory(4), "star");
+}
+
+TEST(EngineSoa, StarMultigraphDifferentialAcrossLaneCounts) {
+  // A star-shaped multigraph built straight from a degree sequence: one
+  // hub of degree 96 against 32 leaves of degree 3, wired by a random
+  // involution — parallel edges, self-loops and fixed points included, so
+  // the sender-segment transport is exercised on every port species.
+  auto rng = test::make_rng(0x57A3);
+  std::vector<port::Port> degrees(33, 3);
+  degrees[0] = 96;
+  const auto g = port::random_port_graph(degrees, rng);
+  expect_lane_counts_match(g, EchoFactory(6), "star-multigraph");
+}
+
+TEST(EngineSoa, ProfiledRunsStayBitIdentical) {
+  // Stage profiling drives shards as split sweeps instead of the fused
+  // per-node loop; the differential bar applies to that path unchanged.
+  auto rng = test::make_rng(0x50A4);
+  const auto pg =
+      port::with_random_ports(graph::random_power_law(200, 2.3, rng), rng);
+  engine_stage_profiling(true);
+  expect_lane_counts_match(pg.ports(), EchoFactory(5), "profiled power-law");
+  engine_stage_profiling(false);
+  const auto stats = engine_stage_stats();
+  EXPECT_GT(stats.profiled_rounds, 0u);
+  EXPECT_GE(stats.exchange_ns, stats.scatter_ns)
+      << "the tag-shadow sweep is a component of the exchange time";
+}
+
+TEST(EngineSoa, BalancedShardBoundsEqualizePortCounts) {
+  // Star worklist: hub (64 ports) first, then 64 leaves (1 port each).
+  // Port-balanced bounds must give the hub its own shard and split the
+  // leaves over the rest; equal-count bounds would put 16 leaves next to
+  // the hub and starve the last shard.
+  std::vector<std::uint64_t> weights{64};
+  weights.insert(weights.end(), 64, 1);
+  std::vector<std::size_t> bounds;
+  balanced_shard_bounds(
+      weights.size(), 4, [&](std::size_t i) { return weights[i]; }, bounds);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 1u) << "the hub alone already fills shard 0's target";
+  EXPECT_EQ(bounds[4], weights.size());
+  // Every remaining shard's port total stays near 128 / 4 = 32.
+  for (std::size_t s = 1; s < 4; ++s) {
+    std::uint64_t total = 0;
+    for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+      total += weights[i];
+    }
+    EXPECT_LE(total, 33u) << "shard " << s;
+  }
+
+  // All-zero weights fall back to an equal-count split.
+  balanced_shard_bounds(
+      8, 4, [](std::size_t) { return std::uint64_t{0}; }, bounds);
+  EXPECT_EQ(bounds, (std::vector<std::size_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(EngineSoa, WorkspaceReturnsEveryPooledByteOnTeardown) {
+  // Mirror of BatchStream.DroppingAnUndrainedStreamReleasesWorkspaceBytes
+  // for the transport buffers themselves: a lane that ran the
+  // double-buffered engine gives back every byte the gauge charged it —
+  // outbox pairs, tag lanes and shard scratch included — when the thread
+  // exits.
+  const auto baseline = engine_alloc_stats().workspace_bytes;
+  std::uint64_t charged = 0;
+  std::thread lane([&] {
+    auto rng = test::make_rng(0x50A6);
+    const auto pg = test::random_ported_regular(256, 6, rng);
+    RunOptions options;
+    for (const unsigned threads : {1u, 8u}) {
+      options.exec.threads = threads;
+      (void)run_synchronous(pg.ports(), EchoFactory(4), options);
+    }
+    charged = engine_alloc_stats().workspace_bytes - baseline;
+  });
+  lane.join();
+  EXPECT_GT(charged, 0u) << "the lane's workspace was never accounted";
+  EXPECT_EQ(engine_alloc_stats().workspace_bytes, baseline)
+      << "a dead lane left pooled transport bytes in the gauge";
+}
+
+TEST(EngineSoa, StatsResetResamplesProfilingFlag) {
+  // Regression for the epoch cache: a lane that sampled "profiling off"
+  // must pick up a later toggle even when the only intervening global
+  // operation is a stats reset (the reset bumps the epoch too, so
+  // back-to-back measurement windows in one process work on every lane).
+  const auto pg = port::with_canonical_ports(graph::cycle(12));
+  engine_stage_profiling(false);
+  (void)run_synchronous(pg.ports(), EchoFactory(3));  // caches "off"
+
+  engine_stage_profiling(true);
+  engine_stage_stats_reset();
+  const auto result = run_synchronous(pg.ports(), EchoFactory(3));
+  engine_stage_profiling(false);
+  EXPECT_EQ(engine_stage_stats().profiled_rounds, result.stats.rounds)
+      << "the run after the reset still used the stale cached flag";
+
+  engine_stage_stats_reset();
+  EXPECT_EQ(engine_stage_stats().profiled_rounds, 0u);
+  (void)run_synchronous(pg.ports(), EchoFactory(3));
+  EXPECT_EQ(engine_stage_stats().profiled_rounds, 0u)
+      << "profiling off must stick after a reset as well";
+}
+
+TEST(EngineSoa, CountNonsilenceMatchesNaiveSweep) {
+  // The branch-free tag sweep against the obvious loop, on a lane with a
+  // mixed silence pattern (including negative tags, which count).
+  MessageLanes lanes;
+  lanes.assign_silence(1000);
+  auto rng = test::make_rng(0x50A7);
+  std::uint64_t expected = 0;
+  for (std::size_t q = 0; q < 1000; ++q) {
+    const auto roll = rng.next_u64() % 4;
+    const std::int32_t tag =
+        roll == 0 ? 0 : (roll == 1 ? -7 : static_cast<std::int32_t>(q + 1));
+    lanes.store(q, msg(tag, 1, 2, 3));
+    if (tag != 0) ++expected;
+  }
+  EXPECT_EQ(count_nonsilence(lanes.tags(), lanes.size()), expected);
+  EXPECT_EQ(lanes.load(5).arg[2], 3);
+  lanes.silence(5);
+  EXPECT_TRUE(lanes.load(5) == kSilence);
+}
+
+}  // namespace
+}  // namespace eds::runtime

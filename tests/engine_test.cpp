@@ -29,95 +29,13 @@ using port::Port;
 using port::PortGraph;
 using port::PortGraphBuilder;
 
-/// Seed-semantics oracle: the pre-engine run loop — every node scanned
-/// every round, no worklist, no sharding — with ports_served counted for
-/// non-halted nodes per the documented definition.
-RunResult reference_run(const PortGraph& g, const ProgramFactory& factory,
-                        const RunOptions& options) {
-  const std::size_t n = g.num_nodes();
-  std::vector<std::unique_ptr<NodeProgram>> programs;
-  for (std::size_t v = 0; v < n; ++v) programs.push_back(factory.create());
-
-  std::vector<std::size_t> offset(n, 0);
-  std::size_t total_ports = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    offset[v] = total_ports;
-    total_ports += g.degree(static_cast<port::NodeId>(v));
-  }
-  std::vector<Message> outbox(total_ports, kSilence);
-  std::vector<Message> inbox(total_ports, kSilence);
-
-  std::vector<bool> halted(n, false);
-  std::size_t halted_count = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    programs[v]->start(g.degree(static_cast<port::NodeId>(v)));
-    if (programs[v]->halted()) {
-      halted[v] = true;
-      ++halted_count;
-    }
-  }
-
-  RunResult result;
-  result.messages_collected = options.collect_messages;
-  Round round = 0;
-  while (halted_count < n) {
-    ++round;
-    if (round > options.max_rounds) {
-      throw ExecutionError("reference_run: round limit exceeded");
-    }
-    std::fill(outbox.begin(), outbox.end(), kSilence);
-    for (std::size_t v = 0; v < n; ++v) {
-      const auto deg = g.degree(static_cast<port::NodeId>(v));
-      const std::span<Message> out(&outbox[offset[v]], deg);
-      if (halted[v]) continue;
-      programs[v]->send(round, out);
-      result.stats.ports_served += deg;
-      for (const auto& m : out) {
-        if (!m.is_silence()) ++result.stats.messages_sent;
-      }
-    }
-    std::uint64_t round_messages = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      const auto deg = g.degree(static_cast<port::NodeId>(v));
-      for (Port i = 1; i <= deg; ++i) {
-        const auto dst = g.partner(static_cast<port::NodeId>(v), i);
-        const Message& m = outbox[offset[v] + i - 1];
-        inbox[offset[dst.node] + dst.port - 1] = m;
-        if (!m.is_silence()) {
-          ++round_messages;
-          if (options.collect_messages) {
-            result.message_log.push_back(
-                {round, {static_cast<port::NodeId>(v), i}, dst, m});
-          }
-        }
-      }
-    }
-    for (std::size_t v = 0; v < n; ++v) {
-      if (halted[v]) continue;
-      const auto deg = g.degree(static_cast<port::NodeId>(v));
-      const std::span<const Message> in(&inbox[offset[v]], deg);
-      programs[v]->receive(round, in);
-      if (programs[v]->halted()) {
-        halted[v] = true;
-        ++halted_count;
-      }
-    }
-    if (options.collect_trace) {
-      result.trace.push_back({round, round_messages, halted_count});
-    }
-  }
-  result.stats.rounds = round;
-  result.outputs.resize(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    auto ports = programs[v]->output();
-    std::sort(ports.begin(), ports.end());
-    result.outputs[v] = std::move(ports);
-  }
-  return result;
-}
-
 using test::EchoFactory;
 using test::EchoProgram;
+// The policy-free seed-semantics oracle and the thread-count sweep live in
+// test_util.hpp so every differential suite (this one, engine_soa_test)
+// holds the engine to the same bit-identity bar.
+using test::policy_thread_counts;
+using test::reference_run;
 
 class NeverHaltFactory final : public ProgramFactory {
   class P final : public NodeProgram {
@@ -135,22 +53,6 @@ class NeverHaltFactory final : public ProgramFactory {
   }
   [[nodiscard]] std::string name() const override { return "never-halt"; }
 };
-
-/// Thread counts every differential test sweeps: sequential, a small and a
-/// large parallel pool, plus an optional extra count from EDS_TEST_THREADS
-/// (the sanitizer CI job uses this to stress the sharded loop harder).
-std::vector<unsigned> policy_thread_counts() {
-  std::vector<unsigned> counts{1, 2, 8};
-  if (const char* env = std::getenv("EDS_TEST_THREADS")) {
-    const auto extra =
-        static_cast<unsigned>(std::strtoul(env, nullptr, 0));
-    if (extra > 0 &&
-        std::find(counts.begin(), counts.end(), extra) == counts.end()) {
-      counts.push_back(extra);
-    }
-  }
-  return counts;
-}
 
 void expect_all_policies_match(const PortGraph& g,
                                const ProgramFactory& factory,
@@ -293,12 +195,14 @@ TEST(Engine, MidRunHaltsWithPerNodePrograms) {
   }
 }
 
-TEST(Engine, SingleBufferWorkspaceFootprint) {
-  // Deterministic, hardware-independent accounting for the fused
-  // exchange: a fresh lane's pooled footprint for a P-port graph holds
-  // exactly ONE P-slot Message buffer (the inbox) plus small worklist and
-  // scratch arrays.  The pre-fusion pipeline kept an equally sized outbox
-  // too, which would bust the 2·P·sizeof(Message) bound asserted here.
+TEST(Engine, DoubleBufferWorkspaceFootprint) {
+  // Deterministic, hardware-independent accounting for the double-buffered
+  // transport: a fresh lane's pooled footprint for a P-port graph holds
+  // exactly TWO P-slot Message buffers plus their two P-entry int32 tag
+  // lanes (the price of the single-barrier round loop), plus small
+  // worklist and scratch arrays.  A third ports-sized buffer — or lane
+  // sets silently duplicated beyond the shadow pair — would bust the
+  // upper bound asserted here.
   auto rng = test::make_rng(0xE65);
   const auto pg = test::random_ported_regular(1024, 4, rng);
   const std::size_t ports = pg.ports().num_ports();
@@ -313,10 +217,12 @@ TEST(Engine, SingleBufferWorkspaceFootprint) {
   });
   fresh_lane.join();
 
-  EXPECT_GE(delta, ports * sizeof(Message))
-      << "the inbox itself must be accounted";
-  EXPECT_LT(delta, 2 * ports * sizeof(Message))
-      << "a second ports-sized message buffer is back in the workspace";
+  const std::size_t buffer_pair =
+      2 * ports * (sizeof(Message) + sizeof(std::int32_t));
+  EXPECT_GE(delta, buffer_pair)
+      << "both outbox buffers and their tag lanes must be accounted";
+  EXPECT_LT(delta, buffer_pair + ports * sizeof(Message))
+      << "a third ports-sized message buffer is back in the workspace";
 }
 
 TEST(Engine, StageProfilingCountsRoundsAndStaysOffByDefault) {
@@ -349,6 +255,8 @@ TEST(Engine, StageStatsResetZeroesCumulativeCounters) {
   const auto zeroed = engine_stage_stats();
   EXPECT_EQ(zeroed.exchange_ns, 0u);
   EXPECT_EQ(zeroed.receive_ns, 0u);
+  EXPECT_EQ(zeroed.scatter_ns, 0u);
+  EXPECT_EQ(zeroed.scan_ns, 0u);
   EXPECT_EQ(zeroed.profiled_rounds, 0u);
 
   // The counters keep working after a reset.

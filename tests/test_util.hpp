@@ -23,6 +23,8 @@
 #include "port/ported_graph.hpp"
 #include "runtime/message.hpp"
 #include "runtime/program.hpp"
+#include "runtime/runner.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace eds::test {
@@ -181,6 +183,114 @@ inline port::PortGraph figure2_multigraph_m() {
   b.fix({0, 3});
   b.connect({1, 3}, {1, 4});
   return b.build();
+}
+
+/// Seed-semantics oracle: the pre-engine run loop — every node scanned
+/// every round, no worklist, no sharding, a naive outbox -> inbox copy
+/// per round — with ports_served counted for non-halted nodes per the
+/// documented definition.  Every engine transport rewrite is held to
+/// bit-identity against this function by the differential suites.
+inline runtime::RunResult reference_run(const port::PortGraph& g,
+                                        const runtime::ProgramFactory& factory,
+                                        const runtime::RunOptions& options) {
+  using runtime::kSilence;
+  using runtime::Message;
+  using runtime::Round;
+  const std::size_t n = g.num_nodes();
+  std::vector<std::unique_ptr<runtime::NodeProgram>> programs;
+  for (std::size_t v = 0; v < n; ++v) programs.push_back(factory.create());
+
+  std::vector<std::size_t> offset(n, 0);
+  std::size_t total_ports = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offset[v] = total_ports;
+    total_ports += g.degree(static_cast<port::NodeId>(v));
+  }
+  std::vector<Message> outbox(total_ports, kSilence);
+  std::vector<Message> inbox(total_ports, kSilence);
+
+  std::vector<bool> halted(n, false);
+  std::size_t halted_count = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    programs[v]->start(g.degree(static_cast<port::NodeId>(v)));
+    if (programs[v]->halted()) {
+      halted[v] = true;
+      ++halted_count;
+    }
+  }
+
+  runtime::RunResult result;
+  result.messages_collected = options.collect_messages;
+  Round round = 0;
+  while (halted_count < n) {
+    ++round;
+    if (round > options.max_rounds) {
+      throw ExecutionError("reference_run: round limit exceeded");
+    }
+    std::fill(outbox.begin(), outbox.end(), kSilence);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto deg = g.degree(static_cast<port::NodeId>(v));
+      const std::span<Message> out(&outbox[offset[v]], deg);
+      if (halted[v]) continue;
+      programs[v]->send(round, out);
+      result.stats.ports_served += deg;
+      for (const auto& m : out) {
+        if (!m.is_silence()) ++result.stats.messages_sent;
+      }
+    }
+    std::uint64_t round_messages = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto deg = g.degree(static_cast<port::NodeId>(v));
+      for (port::Port i = 1; i <= deg; ++i) {
+        const auto dst = g.partner(static_cast<port::NodeId>(v), i);
+        const Message& m = outbox[offset[v] + i - 1];
+        inbox[offset[dst.node] + dst.port - 1] = m;
+        if (!m.is_silence()) {
+          ++round_messages;
+          if (options.collect_messages) {
+            result.message_log.push_back(
+                {round, {static_cast<port::NodeId>(v), i}, dst, m});
+          }
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (halted[v]) continue;
+      const auto deg = g.degree(static_cast<port::NodeId>(v));
+      const std::span<const Message> in(&inbox[offset[v]], deg);
+      programs[v]->receive(round, in);
+      if (programs[v]->halted()) {
+        halted[v] = true;
+        ++halted_count;
+      }
+    }
+    if (options.collect_trace) {
+      result.trace.push_back({round, round_messages, halted_count});
+    }
+  }
+  result.stats.rounds = round;
+  result.outputs.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto ports = programs[v]->output();
+    std::sort(ports.begin(), ports.end());
+    result.outputs[v] = std::move(ports);
+  }
+  return result;
+}
+
+/// Thread counts every differential test sweeps: sequential, a small and a
+/// large parallel pool, plus an optional extra count from EDS_TEST_THREADS
+/// (the sanitizer CI job uses this to stress the sharded loop harder).
+inline std::vector<unsigned> policy_thread_counts() {
+  std::vector<unsigned> counts{1, 2, 8};
+  if (const char* env = std::getenv("EDS_TEST_THREADS")) {
+    const auto extra = static_cast<unsigned>(std::strtoul(env, nullptr, 0));
+    if (extra > 0 &&
+        std::find(counts.begin(), counts.end(), extra) == counts.end()) {
+      counts.push_back(extra);
+    }
+  }
+  return counts;
 }
 
 /// The `edsim` binary for suites that fork worker subprocesses: the

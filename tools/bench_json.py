@@ -71,6 +71,11 @@ def convert(report: dict) -> dict:
             # project's CMAKE_BUILD_TYPE (distro packages often say
             # "debug" here even under a Release project build).
             "benchmark_library_build_type": context.get("library_build_type"),
+            # "ON" when the bench binary was compiled with EDS_NATIVE
+            # (-march=native).  Injected by bench_micro_runtime's main via
+            # AddCustomContext; snapshots predating the field are portable
+            # builds, so a missing key reads as "OFF" in --compare.
+            "eds_native": context.get("eds_native", "OFF"),
         },
         "benchmarks": records,
     }
@@ -91,24 +96,38 @@ def compare(old_path: str, new_path: str, threshold: float) -> int:
     (the cheapest context signal that survives CI's anonymized hostnames);
     otherwise regressions are reported but the exit code stays 0, and the
     gate becomes blocking once the committed snapshot is regenerated on
-    hardware matching the runner's."""
+    hardware matching the runner's.  The same demotion applies when the two
+    files disagree on the eds_native codegen flavor (-march=native vs
+    portable; snapshots without the field count as portable): those numbers
+    differ by design, not by regression."""
     with open(old_path) as f:
         old_report = json.load(f)
     with open(new_path) as f:
         new_report = json.load(f)
     old = {b["name"]: b for b in old_report["benchmarks"]}
     new = {b["name"]: b for b in new_report["benchmarks"]}
-    old_cpus = (old_report.get("context") or {}).get("num_cpus")
-    new_cpus = (new_report.get("context") or {}).get("num_cpus")
-    comparable = old_cpus is not None and old_cpus == new_cpus
+    old_ctx = old_report.get("context") or {}
+    new_ctx = new_report.get("context") or {}
+    old_cpus = old_ctx.get("num_cpus")
+    new_cpus = new_ctx.get("num_cpus")
+    old_native = old_ctx.get("eds_native") or "OFF"
+    new_native = new_ctx.get("eds_native") or "OFF"
+    cpus_match = old_cpus is not None and old_cpus == new_cpus
+    native_match = old_native == new_native
+    comparable = cpus_match and native_match
 
     regressions = []
     print(f"## Benchmark comparison (threshold {threshold * 100:.0f}%)")
     print()
-    if not comparable:
+    if not cpus_match:
         print(f"**Baseline is from different hardware "
               f"(num_cpus {old_cpus} vs {new_cpus}): wall-time deltas are "
               f"informational, not gating.**")
+        print()
+    if not native_match:
+        print(f"**Codegen flavors differ (eds_native {old_native} vs "
+              f"{new_native}): wall-time deltas are informational, not "
+              f"gating.**")
         print()
     print("| benchmark | old ns/op | new ns/op | delta | counter deltas |")
     print("|---|---:|---:|---:|---|")
