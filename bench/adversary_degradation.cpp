@@ -1,0 +1,116 @@
+// Adversarial degradation: the committed BENCHMARKS.md acceptance table.
+// On the two fixed attack fixtures — the Figure 2 graph H and an 8-node
+// 3-regular random multigraph — each adversary strategy at budget B must
+// find a worst case at least as bad, on every badness axis, as seed-random
+// sampling with a 10x budget.  The base environment is free-running
+// port-one with unit delays and a 2-tick round timeout: seed-random has no
+// randomness left to exploit there (probe 0 already is the base), so every
+// strict win in the table is a genuine schedule-perturbation find.
+//
+// Figure 2's H is a simple graph, so its rows also report the worst-case
+// approximation ratio against the exact optimum; multigraphs have no exact
+// solver, so those rows report the raw selected-edge count instead.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/simple_graph.hpp"
+#include "port/ported_graph.hpp"
+#include "port/random_port_graph.hpp"
+#include "runtime/sched.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// The Figure 2 graph H with the paper's port numbering (the same fixture
+// the adversary test suite commits to).
+eds::port::PortedGraph figure2_graph_h() {
+  auto g = eds::graph::SimpleGraph::from_edges(
+      4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  const std::vector<std::vector<eds::graph::EdgeId>> order{
+      {1, 0}, {0, 2, 3}, {4, 1, 2}, {4, 3}};
+  return eds::port::PortedGraph(std::move(g), order);
+}
+
+eds::runtime::AsyncOptions attack_base() {
+  eds::runtime::AsyncOptions base;
+  base.synchronizer = false;
+  base.delay = {eds::runtime::DelayKind::kFixed, 1, 1};
+  base.round_timeout = 2;
+  base.seed = 99;
+  return base;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBudget = 24;
+  constexpr std::uint64_t kSeed = 0xD1CE;
+
+  eds::Rng rng(0xADF1C7ULL);
+  const auto multigraph = eds::port::random_port_graph(
+      std::vector<eds::port::Port>(8, 3), rng, 0.1);
+  const auto h = figure2_graph_h();
+  const auto h_optimum = eds::exact::minimum_eds_size(h.graph());
+
+  struct Fixture {
+    const char* name;
+    const eds::port::PortGraph& ports;
+    std::size_t optimum;  // 0: no exact solver (multigraph)
+  };
+  const Fixture fixtures[] = {
+      {"figure2-H", h.ports(), h_optimum},
+      {"multigraph-8x3", multigraph, 0},
+  };
+  const eds::runtime::AdversaryStrategy strategies[] = {
+      eds::runtime::AdversaryStrategy::kRandom,
+      eds::runtime::AdversaryStrategy::kPct,
+      eds::runtime::AdversaryStrategy::kDelay,
+      eds::runtime::AdversaryStrategy::kClimb,
+  };
+
+  const auto factory = eds::algo::make_factory(eds::algo::Algorithm::kPortOne);
+  eds::TextTable table(
+      "Worst case found per strategy (port-one, free-running, fixed:1 "
+      "delays, timeout 2; random gets a 10x budget)");
+  table.header({"fixture", "strategy", "budget", "rounds", "time", "selected",
+                "inconsistent", "ratio"});
+  for (const auto& fixture : fixtures) {
+    for (const auto strategy : strategies) {
+      const auto budget = strategy == eds::runtime::AdversaryStrategy::kRandom
+                              ? 10 * kBudget
+                              : kBudget;
+      const auto report = eds::runtime::adversary_search(
+          fixture.ports, *factory, strategy, attack_base(), budget, kSeed);
+      std::string ratio = "-";
+      if (fixture.optimum > 0) {
+        std::ostringstream os;
+        os << eds::analysis::approximation_ratio(
+            static_cast<std::size_t>(report.worst_selected.metrics.selected),
+            fixture.optimum);
+        ratio = os.str();
+      }
+      table.row({fixture.name, eds::runtime::adversary_token(strategy),
+                 std::to_string(budget),
+                 std::to_string(report.worst_rounds.metrics.rounds),
+                 std::to_string(report.worst_time.metrics.virtual_time),
+                 std::to_string(report.worst_selected.metrics.selected),
+                 std::to_string(report.worst_inconsistent.metrics.inconsistent),
+                 ratio});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the base is randomness-free, so the random"
+               "\nrows never move off the unperturbed run (inconsistent 0)"
+               "\neven at a 10x budget; delay and climb force per-link"
+               "\ndelays past the round timeout and find one-sided claims"
+               "\n(inconsistent > 0); pct stretches virtual time but cannot"
+               "\nreach a 1-round algorithm's sends, which all leave at"
+               "\ninitialisation before the first scheduling decision.\n";
+  return 0;
+}

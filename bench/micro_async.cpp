@@ -32,10 +32,12 @@
 
 #include "algo/driver.hpp"
 #include "graph/generators.hpp"
+#include "port/random_port_graph.hpp"
 #include "port/ported_graph.hpp"
 #include "runtime/async.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/runner.hpp"
+#include "runtime/sched.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -194,6 +196,51 @@ void BM_AsyncLossDegradation(benchmark::State& state) {
   state.counters["loss_permille"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_AsyncLossDegradation)->Arg(0)->Arg(10)->Arg(100);
+
+void BM_AdversaryOverhead(benchmark::State& state) {
+  // Arg indexes the strategy (random, pct, delay, climb).  One iteration =
+  // one budgeted adversary_search (probes + re-measures + bookkeeping) on
+  // the BENCHMARKS.md attack fixture: an 8-node 3-regular multigraph under
+  // free-running port-one with unit delays and a 2-tick round timeout.
+  // `schedules_per_sec` is the search throughput (budget schedules per
+  // search, iteration-invariant rate); the worst_* counters pin the found
+  // worst case so a perf change that silently weakens the search shows up
+  // in --compare as a counter delta, not just a wall-time delta.
+  constexpr eds::runtime::AdversaryStrategy kStrategies[] = {
+      eds::runtime::AdversaryStrategy::kRandom,
+      eds::runtime::AdversaryStrategy::kPct,
+      eds::runtime::AdversaryStrategy::kDelay,
+      eds::runtime::AdversaryStrategy::kClimb,
+  };
+  constexpr std::size_t kBudget = 32;
+  const auto strategy = kStrategies[static_cast<std::size_t>(state.range(0))];
+  eds::Rng rng(0xADF1C7ULL);
+  const auto g = eds::port::random_port_graph(
+      std::vector<eds::port::Port>(8, 3), rng, 0.1);
+  const auto factory = eds::algo::make_factory(eds::algo::Algorithm::kPortOne);
+  eds::runtime::AsyncOptions base;
+  base.synchronizer = false;
+  base.delay = {eds::runtime::DelayKind::kFixed, 1, 1};
+  base.round_timeout = 2;
+  base.seed = 99;
+  eds::runtime::AdversaryReport last;
+  for (auto _ : state) {
+    last = eds::runtime::adversary_search(g, *factory, strategy, base, kBudget,
+                                          0xD1CE);
+    benchmark::DoNotOptimize(last.evaluated);
+  }
+  state.counters["schedules_per_sec"] = benchmark::Counter(
+      static_cast<double>(kBudget),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["worst_time"] =
+      static_cast<double>(last.worst_time.metrics.virtual_time);
+  state.counters["worst_selected"] =
+      static_cast<double>(last.worst_selected.metrics.selected);
+  state.counters["worst_inconsistent"] =
+      static_cast<double>(last.worst_inconsistent.metrics.inconsistent);
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_AdversaryOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 

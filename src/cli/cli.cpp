@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "runtime/fault.hpp"
 #include "runtime/outputs.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/sched.hpp"
 #include "runtime/shard.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -102,6 +104,8 @@ void usage(std::ostream& out) {
          "        [--shards N] [--repeat R] [--ndjson]\n"
          "        [--model sync|async] [--delay SPEC] [--loss P] [--dup P]\n"
          "        [--crash K] [--timeout T] [--synchronizer on|off]\n"
+         "        [--adversary random|pct|delay|climb] [--budget N]\n"
+         "        [--replay-out DIR] | [--replay FILE]\n"
          "      families: path | cycle | regular | grid | torus |\n"
          "                caterpillar | powerlaw | portgraph\n"
          "      fans one instance per size across the batch engine's thread\n"
@@ -131,7 +135,17 @@ void usage(std::ostream& out) {
          "      loss, duplication and K crashed nodes per instance while\n"
          "      --timeout T bounds how long a round waits (0 = auto);\n"
          "      rows gain \"model\"/\"consistent\" fields, degradation is\n"
-         "      reported, not fatal; async runs never combine with --shards\n"
+         "      reported, not fatal; async runs never combine with --shards;\n"
+         "      --adversary STRATEGY searches --budget N schedules per\n"
+         "      instance for worst-case behaviour (random = seed-random\n"
+         "      baseline, pct = random-priority change points, delay =\n"
+         "      bounded delay-matrix perturbation, climb = greedy\n"
+         "      hill-climb), requires --model async with the synchronizer\n"
+         "      off, shrinks each instance's worst schedule to a minimal\n"
+         "      reproducer, and with --replay-out DIR serializes it as a\n"
+         "      versioned replay file; `sweep --replay FILE` re-executes a\n"
+         "      replay file bit-identically (transcript, fault log and\n"
+         "      outputs) and verifies its recorded metrics\n"
          "  lower-bound <d>\n"
          "      emits the Theorem 1 (even d) / Theorem 2 (odd d) adversarial\n"
          "      instance in port-graph format, with its optimum\n"
@@ -382,7 +396,98 @@ int cmd_run_portgraph(const Args& args, std::istream& in, std::ostream& out,
   }
 }
 
+/// `sweep --replay FILE`: re-executes a serialized adversarial schedule
+/// bit-identically and verifies the recorded metrics.  Everything printed
+/// is a pure function of the file contents — independent of --threads and
+/// of the sweep flags, which are ignored on purpose (the file *is* the
+/// configuration).  Exit 2 on a bad file (unreadable, schema mismatch,
+/// malformed records, unknown algorithm), exit 1 when the rerun drifts
+/// from the recorded metrics — the determinism alarm.
+int cmd_sweep_replay(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto path = args.get("replay");
+  if (path.empty()) {
+    err << "sweep: --replay needs a file path\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    err << "sweep: cannot open replay file '" << path << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  runtime::ReplayFile replay;
+  try {
+    replay = runtime::decode_replay(buffer.str());
+  } catch (const Error& e) {
+    err << "sweep: " << e.what() << '\n';
+    return 2;
+  }
+  const auto algorithm = algo::algorithm_from_token(replay.algorithm);
+  if (!algorithm) {
+    err << "sweep: replay file names unknown algorithm '" << replay.algorithm
+        << "'\n";
+    return 2;
+  }
+  port::PortGraph g;
+  try {
+    g = port::from_port_graph_string(replay.graph_text);
+  } catch (const Error& e) {
+    err << "sweep: replay graph: " << e.what() << '\n';
+    return 2;
+  }
+  const auto factory =
+      algo::make_factory(*algorithm, static_cast<port::Port>(replay.param));
+  runtime::RunOptions options;
+  options.collect_messages = true;
+  runtime::AsyncResult result;
+  try {
+    result = runtime::run_asynchronous(g, *factory, options, replay.options);
+  } catch (const Error& e) {
+    err << "sweep: replay run failed: " << e.what() << '\n';
+    return 1;
+  }
+  const auto metrics = runtime::measure_schedule(g, result);
+  out << "replay: schema=" << runtime::kReplaySchemaVersion
+      << " strategy=" << replay.strategy << " algorithm=" << replay.algorithm
+      << " param=" << replay.param << " nodes=" << g.num_nodes()
+      << " synchronizer=" << (replay.options.synchronizer ? "on" : "off")
+      << '\n';
+  out << "metrics: rounds=" << metrics.rounds
+      << " time=" << metrics.virtual_time << " selected=" << metrics.selected
+      << " inconsistent=" << metrics.inconsistent << '\n';
+  bool drift = false;
+  for (const auto& [name, value] : replay.metrics) {
+    const auto metric = runtime::metric_from_token(name);
+    if (!metric) {
+      err << "sweep: replay file records unknown metric '" << name << "'\n";
+      return 2;
+    }
+    const auto measured = runtime::metric_value(metrics, *metric);
+    const bool match = measured == value;
+    drift = drift || !match;
+    out << "recorded: " << name << '=' << value
+        << (match ? " reproduced" : " DRIFT") << '\n';
+  }
+  out << "--- transcript ---\n" << runtime::format_transcript(result.run);
+  out << "--- fault log ---\n"
+      << runtime::format_fault_log(result.fault_log);
+  out << "outputs:\n";
+  for (port::NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << v << ':';
+    for (const auto p : result.run.outputs[v]) out << ' ' << p;
+    out << '\n';
+  }
+  if (drift) {
+    err << "sweep: replay drifted from its recorded metrics (determinism "
+           "regression or a hand-edited file)\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.has("replay")) return cmd_sweep_replay(args, out, err);
   const auto& pos = args.positional();
   if (pos.size() < 2) {
     err << "sweep: missing family (path|cycle|regular|grid|torus|"
@@ -420,6 +525,21 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   double loss = 0.0;
   double dup = 0.0;
   std::size_t crash_k = 0;
+  std::optional<runtime::AdversaryStrategy> adversary;
+  std::size_t budget = 0;
+  const auto replay_out = args.get("replay-out", "");
+  if (!async_model) {
+    if (args.has("adversary")) {
+      err << "sweep: --adversary needs --model async (the synchronous "
+             "engine has no schedule to perturb)\n";
+      return 2;
+    }
+    if (args.has("budget") || !replay_out.empty()) {
+      err << "sweep: --budget/--replay-out only make sense with "
+             "--adversary\n";
+      return 2;
+    }
+  }
   if (async_model) {
     if (args.has("shards")) {
       err << "sweep: --model async cannot run under --shards (async jobs "
@@ -446,14 +566,40 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     }
     crash_k = static_cast<std::size_t>(args.get_u64("crash", 0));
     async_base.round_timeout = args.get_u64("timeout", 0);
+    if (args.has("adversary")) {
+      adversary = runtime::adversary_from_token(args.get("adversary"));
+      if (!adversary) {
+        err << "sweep: unknown --adversary '" << args.get("adversary")
+            << "' (random|pct|delay|climb)\n";
+        return 2;
+      }
+      budget = static_cast<std::size_t>(args.get_u64("budget", 32));
+      if (budget == 0) {
+        err << "sweep: need --budget >= 1\n";
+        return 2;
+      }
+    } else if (args.has("budget") || !replay_out.empty()) {
+      err << "sweep: --budget/--replay-out only make sense with "
+             "--adversary\n";
+      return 2;
+    }
     const bool have_faults = loss > 0.0 || dup > 0.0 || crash_k > 0;
-    const auto sync_flag =
-        args.get("synchronizer", have_faults ? "off" : "on");
+    // An adversary search implies free-running mode: the α-synchronizer is
+    // schedule-oblivious by construction, so defaulting it off is the only
+    // sensible reading, and asking for it explicitly is a user error.
+    const auto sync_flag = args.get(
+        "synchronizer", (have_faults || adversary) ? "off" : "on");
     if (sync_flag != "on" && sync_flag != "off") {
       err << "sweep: --synchronizer takes on|off\n";
       return 2;
     }
     async_base.synchronizer = sync_flag == "on";
+    if (async_base.synchronizer && adversary) {
+      err << "sweep: --adversary cannot attack the α-synchronizer (its "
+             "outputs are schedule-independent by construction); drop "
+             "--synchronizer on\n";
+      return 2;
+    }
     if (async_base.synchronizer && have_faults) {
       err << "sweep: the α-synchronizer requires a fault-free network; "
              "drop --loss/--dup/--crash or pass --synchronizer off\n";
@@ -543,6 +689,10 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
             << ",\"crash\":" << crash_k << ",\"synchronizer\":"
             << (async_base.synchronizer ? "true" : "false")
             << ",\"timeout\":" << async_base.round_timeout;
+        if (adversary) {
+          out << ",\"adversary\":\"" << runtime::adversary_token(*adversary)
+              << "\",\"budget\":" << budget;
+        }
       }
       out << "}}\n";
     } else {
@@ -552,6 +702,11 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
             << " loss=" << loss << " dup=" << dup << " crash=" << crash_k
             << " synchronizer=" << (async_base.synchronizer ? "on" : "off")
             << " timeout=" << async_base.round_timeout << '\n';
+        if (adversary) {
+          out << "adversary: strategy="
+              << runtime::adversary_token(*adversary) << " budget=" << budget
+              << '\n';
+        }
       }
       out << "plan-cache: compiled=" << compiled
           << " hits=" << hits << '\n';
@@ -579,6 +734,102 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     return a;
   };
 
+  // One adversary search per (instance, repeat): run the strategy for
+  // --budget probes, shrink the headline witness to a minimal reproducer,
+  // optionally serialize it under --replay-out, and print one row.  The
+  // loop is sequential on purpose — the report is a pure function of
+  // (instance, seed, budget), so --threads cannot change a single byte.
+  std::size_t adversary_jobs = 0;
+  const auto adversary_row =
+      [&](const std::string& fam, std::size_t n_label,
+          const port::PortGraph& ports, const runtime::ProgramFactory& factory,
+          const std::string& algo_token, port::Port resolved,
+          std::optional<std::size_t> optimum, TextTable& table) -> int {
+    const std::size_t job_index = adversary_jobs++;
+    const auto base = async_for_job(job_index, ports.num_nodes());
+    std::uint64_t state =
+        args.get_u64("seed", 1) ^ (0xBADC0FFEULL + job_index);
+    const auto search_seed = splitmix64(state);
+    runtime::RunOptions run_opts;
+    run_opts.exec.plan_cache = &plan_cache;
+    const auto report = runtime::adversary_search(
+        ports, factory, *adversary, base, budget, search_seed, run_opts);
+    const auto metric = report.primary_metric();
+    const auto shrunk = runtime::shrink_witness(ports, factory,
+                                                report.primary(), metric,
+                                                run_opts);
+    std::optional<Fraction> ratio;
+    if (optimum.has_value() && *optimum > 0) {
+      ratio = analysis::approximation_ratio(
+          static_cast<std::size_t>(report.worst_selected.metrics.selected),
+          *optimum);
+    }
+    std::string replay_path;
+    if (!replay_out.empty()) {
+      runtime::ReplayFile file;
+      file.strategy = runtime::adversary_token(*adversary);
+      file.algorithm = algo_token;
+      file.param = resolved;
+      file.options = shrunk.options;
+      file.metrics = {
+          {"rounds", shrunk.metrics.rounds},
+          {"time", shrunk.metrics.virtual_time},
+          {"selected", shrunk.metrics.selected},
+          {"inconsistent", shrunk.metrics.inconsistent},
+      };
+      file.graph_text = port::to_port_graph_string(ports);
+      replay_path = replay_out + "/worst-" + fam + "-" +
+                    std::to_string(job_index) + ".edsched";
+      std::ofstream sink(replay_path);
+      sink << runtime::encode_replay(file);
+      if (!sink) {
+        err << "sweep: cannot write replay file '" << replay_path << "'\n";
+        return 2;
+      }
+    }
+    if (ndjson) {
+      out << "{\"schema\":" << runtime::kWireSchemaVersion
+          << ",\"index\":" << job_index << ",\"family\":\"" << fam << '"'
+          << ",\"n\":" << n_label << ",\"algorithm\":\"" << algo_token << '"'
+          << ",\"adversary\":\"" << runtime::adversary_token(*adversary)
+          << "\",\"budget\":" << budget
+          << ",\"evaluated\":" << report.evaluated
+          << ",\"failures\":" << report.failures
+          << ",\"worst_rounds\":" << report.worst_rounds.metrics.rounds
+          << ",\"worst_time\":" << report.worst_time.metrics.virtual_time
+          << ",\"worst_selected\":" << report.worst_selected.metrics.selected
+          << ",\"worst_inconsistent\":"
+          << report.worst_inconsistent.metrics.inconsistent
+          << ",\"primary\":\"" << runtime::metric_token(metric)
+          << "\",\"shrunk_changes\":"
+          << shrunk.options.schedule.change_points.size()
+          << ",\"shrunk_overrides\":"
+          << shrunk.options.schedule.delay_overrides.size();
+      if (optimum.has_value()) out << ",\"optimum\":" << *optimum;
+      if (ratio.has_value()) out << ",\"worst_ratio\":\"" << *ratio << '"';
+      if (!replay_path.empty()) out << ",\"replay\":\"" << replay_path << '"';
+      out << "}\n";
+      out.flush();
+    } else {
+      std::ostringstream ratio_text;
+      if (ratio.has_value()) ratio_text << *ratio;
+      table.row({std::to_string(n_label), std::to_string(report.evaluated),
+                 std::to_string(report.failures),
+                 std::to_string(report.worst_rounds.metrics.rounds),
+                 std::to_string(report.worst_time.metrics.virtual_time),
+                 std::to_string(report.worst_selected.metrics.selected),
+                 std::to_string(report.worst_inconsistent.metrics.inconsistent),
+                 ratio.has_value() ? ratio_text.str() : "-"});
+    }
+    return 0;
+  };
+  const auto adversary_header = [] {
+    TextTable table("");
+    table.header({"n", "evaluated", "failures", "rounds", "time", "selected",
+                  "inconsistent", "ratio"});
+    return table;
+  };
+
   try {
     if (family == "portgraph") {
       // Random port-numbered multigraphs (loops and parallel edges): the
@@ -594,6 +845,29 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
           param != 0 ? param
                      : static_cast<port::Port>(std::max<std::size_t>(d, 1));
       const auto factory = algo::make_factory(algorithm, resolved_param);
+      if (adversary) {
+        if (!ndjson) {
+          out << "sweep: family=portgraph d=" << d
+              << " algorithm=" << algo::algorithm_name(algorithm)
+              << " adversary=" << runtime::adversary_token(*adversary)
+              << " budget=" << budget << '\n';
+        }
+        auto table = adversary_header();
+        for (std::size_t k = 0; k < instances.size(); ++k) {
+          for (std::size_t r = 0; r < repeat; ++r) {
+            // Multigraphs (loops, parallel edges) have no exact solver, so
+            // the optimum/ratio columns stay empty for this family.
+            const int rc = adversary_row(
+                "portgraph", sizes[k], instances[k], *factory,
+                algo::algorithm_token(algorithm), resolved_param,
+                std::nullopt, table);
+            if (rc != 0) return rc;
+          }
+        }
+        if (!ndjson) table.print(out);
+        summarize(adversary_jobs, std::nullopt);
+        return 0;
+      }
       std::vector<runtime::BatchJob> jobs;
       jobs.reserve(instances.size() * repeat);
       for (const auto& g : instances) {
@@ -712,6 +986,7 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
       // run_algorithm would (same resolved parameter), so the fault-free
       // synchronized rows are field-identical to the sync model's.
       std::vector<algo::Algorithm> algorithms(instances.size());
+      std::vector<port::Port> params(instances.size());
       std::vector<std::unique_ptr<runtime::ProgramFactory>> factories;
       factories.reserve(instances.size());
       std::vector<runtime::BatchJob> jobs;
@@ -726,9 +1001,9 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
           algorithms[k] = rec.algorithm;
           item_param = rec.param;
         }
-        factories.push_back(algo::make_factory(
-            algorithms[k],
-            algo::resolved_param(pg, algorithms[k], item_param)));
+        params[k] = algo::resolved_param(pg, algorithms[k], item_param);
+        factories.push_back(algo::make_factory(algorithms[k], params[k]));
+        if (adversary) continue;
         for (std::size_t r = 0; r < repeat; ++r) {
           runtime::RunOptions options;
           options.exec.plan_cache = &plan_cache;
@@ -737,6 +1012,34 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
           jobs.push_back(
               {&pg.ports(), factories.back().get(), options, std::nullopt});
         }
+      }
+
+      if (adversary) {
+        if (!ndjson) {
+          out << "sweep: family=" << family << " algorithm=" << algo_name
+              << " adversary=" << runtime::adversary_token(*adversary)
+              << " budget=" << budget << '\n';
+        }
+        auto table = adversary_header();
+        for (std::size_t k = 0; k < instances.size(); ++k) {
+          const auto& pg = instances[k];
+          // The exact solver is exponential in m; only small instances get
+          // the optimum/ratio columns (the degradation tables use those).
+          std::optional<std::size_t> optimum;
+          if (pg.graph().num_edges() <= 24) {
+            optimum = exact::minimum_eds_size(pg.graph());
+          }
+          for (std::size_t r = 0; r < repeat; ++r) {
+            const int rc = adversary_row(
+                family, sizes[k], pg.ports(), *factories[k],
+                algo::algorithm_token(algorithms[k]), params[k], optimum,
+                table);
+            if (rc != 0) return rc;
+          }
+        }
+        if (!ndjson) table.print(out);
+        summarize(adversary_jobs, std::nullopt);
+        return 0;
       }
 
       if (!ndjson) {

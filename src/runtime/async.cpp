@@ -66,9 +66,10 @@ enum class EventKind : std::uint8_t {
 
 struct Event {
   std::uint64_t time = 0;
-  port::NodeId node = 0;  ///< the node the event happens at
-  Port port = 0;          ///< its local port; 0 for node-level events
-  std::uint64_t seq = 0;  ///< global monotone counter, the final tie-break
+  std::uint64_t prio = 0;  ///< schedule priority; 0 without a Schedule
+  port::NodeId node = 0;   ///< the node the event happens at
+  Port port = 0;           ///< its local port; 0 for node-level events
+  std::uint64_t seq = 0;   ///< global monotone counter, the final tie-break
   EventKind kind = EventKind::kPayload;
   Round round = 0;
   Message payload = kSilence;
@@ -76,13 +77,17 @@ struct Event {
   Port from_port = 0;
 };
 
-/// Min-heap order for std::priority_queue: the *smallest* (time, node,
-/// port, seq) pops first.  The tuple is a strict total order because seq is
-/// unique, which is what makes every run reproducible from its seed.
+/// Min-heap order for std::priority_queue: the *smallest* (time, prio,
+/// node, port, seq) pops first.  The tuple is a strict total order because
+/// seq is unique, which is what makes every run reproducible from its seed.
+/// `prio` is the adversarial-schedule hook: stamped at push time from the
+/// node's current PCT priority, always 0 without a schedule — so the empty
+/// schedule reproduces the historical (time, node, port, seq) order
+/// bit-identically.
 struct EventAfter {
   bool operator()(const Event& x, const Event& y) const noexcept {
-    return std::tie(x.time, x.node, x.port, x.seq) >
-           std::tie(y.time, y.node, y.port, y.seq);
+    return std::tie(x.time, x.prio, x.node, x.port, x.seq) >
+           std::tie(y.time, y.prio, y.node, y.port, y.seq);
   }
 };
 
@@ -149,6 +154,24 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
       throw InvalidArgument("run_asynchronous: crash of out-of-range node");
     }
   }
+  const Schedule& sched = options_.schedule;
+  if (!sched.change_points.empty() && sched.prio_seed == 0) {
+    throw InvalidArgument(
+        "run_asynchronous: Schedule change points require a non-zero "
+        "prio_seed (there is no priority lane to demote from)");
+  }
+  for (const DelayOverride& o : sched.delay_overrides) {
+    if (o.port >= plan.total_ports()) {
+      throw InvalidArgument(
+          "run_asynchronous: Schedule delay override names an out-of-range "
+          "flat port");
+    }
+    if (o.ticks == 0) {
+      throw InvalidArgument(
+          "run_asynchronous: Schedule delay override of zero ticks (a "
+          "zero-latency link would collapse back to the synchronous model)");
+    }
+  }
 
   const bool synchronized = options_.synchronizer;
   const std::uint64_t seed = options_.seed;
@@ -157,9 +180,36 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
                                     : 8 * options_.delay.max_delay();
 
   // The delay matrix: one latency per directed link, fixed for the run.
+  // Schedule overrides are applied after sampling, so an override on one
+  // link never shifts another link's draw.
   std::vector<std::uint64_t> delays(plan.total_ports());
   for (std::size_t q = 0; q < delays.size(); ++q) {
     delays[q] = sample_delay(options_.delay, seed, q);
+  }
+  for (const DelayOverride& o : sched.delay_overrides) {
+    delays[o.port] = o.ticks;
+  }
+
+  // PCT priority lane: initial priorities hash off prio_seed (offset past
+  // the demotion band so every demoted node sorts after every fresh one);
+  // crossing change point k demotes the node whose pop crossed it.
+  // Priorities are stamped on events at push time, so a demotion affects
+  // what the node schedules afterwards, never events already in flight —
+  // the deterministic analogue of PCT's "change the running thread's
+  // priority now".
+  const bool prioritized = sched.prio_seed != 0;
+  constexpr std::uint64_t kDemotedBand = std::uint64_t{1} << 33;
+  std::vector<std::uint64_t> prio;
+  std::vector<std::uint64_t> change_points = sched.change_points;
+  std::sort(change_points.begin(), change_points.end());
+  std::size_t next_change = 0;
+  std::vector<char> demoted;
+  if (prioritized) {
+    prio.resize(n);
+    demoted.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      prio[v] = 1 + (draw_bits(sched.prio_seed, v, 0, /*salt=*/5) >> 32);
+    }
   }
 
   AsyncResult out;
@@ -172,8 +222,15 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
   std::priority_queue<Event, std::vector<Event>, EventAfter> timeline;
   std::uint64_t seq = 0;
   const auto push = [&](Event e) {
+    if (prioritized) e.prio = prio[e.node];
     e.seq = seq++;
     timeline.push(std::move(e));
+  };
+
+  /// Extra latency a sender's transmissions suffer: demote_ticks once the
+  /// node has been demoted at a change point, zero otherwise.
+  const auto send_penalty = [&](std::size_t v) -> std::uint64_t {
+    return prioritized && demoted[v] ? sched.demote_ticks : 0;
   };
 
   std::vector<Message> stage;          // send-stage scratch
@@ -199,7 +256,8 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
     for (Port i = 1; i <= deg; ++i) {
       const std::size_t q = off + i - 1;
       const port::PortRef to = plan.partner_ref(q);
-      push({now + delays[q], to.node, to.port, 0, EventKind::kHaltNotice, h});
+      push({now + delays[q] + send_penalty(v), 0, to.node, to.port, 0,
+            EventKind::kHaltNotice, h});
     }
   };
 
@@ -233,13 +291,13 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
         continue;
       }
       const port::PortRef to = plan.partner_ref(q);
-      const std::uint64_t arrival = now + delays[q];
-      push({arrival, to.node, to.port, 0, EventKind::kPayload, r, m,
+      const std::uint64_t arrival = now + delays[q] + send_penalty(v);
+      push({arrival, 0, to.node, to.port, 0, EventKind::kPayload, r, m,
             static_cast<port::NodeId>(v), i});
       if (faults.duplicate > 0.0 &&
           draw01(seed, q, r, /*salt=*/2) < faults.duplicate) {
-        push({arrival + delays[q], to.node, to.port, 0, EventKind::kPayload, r,
-              m, static_cast<port::NodeId>(v), i});
+        push({arrival + delays[q], 0, to.node, to.port, 0, EventKind::kPayload,
+              r, m, static_cast<port::NodeId>(v), i});
         out.fault_log.push_back({now, FaultKind::kDuplicate,
                                  static_cast<port::NodeId>(v), i, r});
         ++out.async.duplicated;
@@ -248,7 +306,7 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
     if (synchronized) {
       s.acks_got = 0;
     } else {
-      push({now + timeout, static_cast<port::NodeId>(v), 0, 0,
+      push({now + timeout, 0, static_cast<port::NodeId>(v), 0, 0,
             EventKind::kDeadline, r});
     }
   };
@@ -325,7 +383,7 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
     try_fire(v, 0);  // degree-0 nodes have no inputs to wait for
   }
   for (const CrashEvent& crash : faults.crashes) {
-    push({crash.time, crash.node, 0, 0, EventKind::kCrash, 0});
+    push({crash.time, 0, crash.node, 0, 0, EventKind::kCrash, 0});
   }
 
   // --- The event loop: strictly ordered, single-threaded, deterministic.
@@ -334,6 +392,16 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
     timeline.pop();
     const std::uint64_t now = e.time;
     out.async.virtual_time = std::max(out.async.virtual_time, now);
+    ++out.async.events;
+    // PCT change point: demote the node whose pop crossed it.  The pop
+    // count is itself deterministic, so which node a change point hits is a
+    // pure function of (options, schedule) — the replay contract.
+    if (prioritized && next_change < change_points.size() &&
+        out.async.events >= change_points[next_change]) {
+      prio[e.node] = kDemotedBand + next_change;
+      demoted[e.node] = 1;
+      ++next_change;
+    }
     NodeState& s = st[e.node];
     switch (e.kind) {
       case EventKind::kPayload: {
@@ -346,7 +414,7 @@ AsyncResult AsyncPolicy::run(const ExecutionPlan& plan,
           // or not the algorithm layer still listens, over the reverse
           // direction of the same link.
           const std::size_t back = plan.offset(e.node) + e.port - 1;
-          push({now + delays[back], e.from_node, e.from_port, 0,
+          push({now + delays[back], 0, e.from_node, e.from_port, 0,
                 EventKind::kAck, e.round});
         }
         if (s.halt_round != kNoHalt) break;  // halted: payload ignored

@@ -24,11 +24,23 @@
 //    measure how the paper's algorithms degrade off the synchronous model.
 //
 // Determinism: the event loop is sequential and pops a strict weak order —
-// (time, node, port, seq) with seq a global monotone counter — and every
-// random draw is a pure function of the seed and structural coordinates
-// (see runtime/fault.hpp).  Equal inputs give byte-identical AsyncResults,
-// including the fault log, regardless of ExecOptions::threads (which only
-// parallelizes *across* runs at the batch layer, never within one).
+// (time, priority, node, port, seq) with seq a global monotone counter —
+// and every random draw is a pure function of the seed and structural
+// coordinates (see runtime/fault.hpp).  Equal inputs give byte-identical
+// AsyncResults, including the fault log, regardless of ExecOptions::threads
+// (which only parallelizes *across* runs at the batch layer, never within
+// one).
+//
+// The ordering hook: AsyncOptions::schedule (runtime/fault.hpp) injects an
+// adversarial perturbation into that order.  A non-empty Schedule stamps
+// each event with a PCT-style per-node priority (splicing ahead of the
+// structural node/port tie-break), demotes nodes at its change points —
+// demoted nodes' sends take Schedule::demote_ticks extra latency — and
+// forces entries of the delay matrix via its overrides.  With an empty
+// schedule every priority is zero and the engine is bit-identical to a
+// build without schedules.  Schedules are pure data, so (options, schedule)
+// fully determine the run — the property runtime/sched.hpp's searcher and
+// the replay file format rely on.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +64,7 @@ struct AsyncStats {
   std::uint64_t duplicated = 0;    ///< transmissions delivered twice
   std::uint64_t stale = 0;         ///< late/duplicate arrivals discarded
   std::uint64_t timeouts = 0;      ///< rounds fired with inputs missing
+  std::uint64_t events = 0;        ///< timeline pops (the change-point axis)
 
   [[nodiscard]] bool operator==(const AsyncStats&) const = default;
 };

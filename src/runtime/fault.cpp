@@ -1,6 +1,8 @@
 #include "runtime/fault.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -100,6 +102,169 @@ FaultPlan make_fault_plan(double loss, double duplicate,
     }
   }
   return plan;
+}
+
+namespace {
+
+/// Parses one probability token of a replay file.
+double parse_prob(const std::string& text, const std::string& key) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size() || value < 0.0 || value > 1.0) {
+      throw std::invalid_argument(text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgument("decode_replay: bad probability '" + text +
+                          "' for '" + key + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& key) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long value = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgument("decode_replay: bad number '" + text + "' for '" +
+                          key + "'");
+  }
+}
+
+}  // namespace
+
+std::string encode_replay(const ReplayFile& replay) {
+  std::ostringstream os;
+  os << "edsched " << kReplaySchemaVersion << '\n';
+  os << "strategy " << replay.strategy << '\n';
+  os << "algorithm " << replay.algorithm << '\n';
+  os << "param " << replay.param << '\n';
+  const AsyncOptions& a = replay.options;
+  os << "synchronizer " << (a.synchronizer ? "on" : "off") << '\n';
+  os << "delay " << format_delay_model(a.delay) << '\n';
+  // max_digits10 makes the probabilities round-trip bit-exactly through the
+  // text form — a replay must reproduce every loss draw.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "loss " << a.faults.loss << '\n';
+  os << "dup " << a.faults.duplicate << '\n';
+  os << "timeout " << a.round_timeout << '\n';
+  os << "seed " << a.seed << '\n';
+  for (const CrashEvent& c : a.faults.crashes) {
+    os << "crash " << c.node << ' ' << c.time << '\n';
+  }
+  const Schedule& s = a.schedule;
+  if (s.prio_seed != 0) os << "prioseed " << s.prio_seed << '\n';
+  if (s.demote_ticks != 0) os << "demote " << s.demote_ticks << '\n';
+  for (const std::uint64_t cp : s.change_points) os << "change " << cp << '\n';
+  for (const DelayOverride& o : s.delay_overrides) {
+    os << "override " << o.port << ' ' << o.ticks << '\n';
+  }
+  for (const auto& [name, value] : replay.metrics) {
+    os << "metric " << name << ' ' << value << '\n';
+  }
+  os << "graph\n" << replay.graph_text;
+  return os.str();
+}
+
+ReplayFile decode_replay(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw InvalidArgument("decode_replay: empty input");
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != "edsched" || version.empty()) {
+      throw InvalidArgument(
+          "decode_replay: not a replay file (expected an 'edsched " +
+          std::to_string(kReplaySchemaVersion) + "' header)");
+    }
+    if (parse_u64(version, "edsched") != kReplaySchemaVersion) {
+      throw InvalidArgument("decode_replay: schema mismatch: this build "
+                            "speaks version " +
+                            std::to_string(kReplaySchemaVersion) + ", got " +
+                            version);
+    }
+  }
+  ReplayFile replay;
+  bool saw_graph = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "graph") {
+      saw_graph = true;
+      break;
+    }
+    std::istringstream record(line);
+    std::string key;
+    record >> key;
+    const auto rest = [&record, &key, &line]() {
+      std::string token;
+      if (!(record >> token)) {
+        throw InvalidArgument("decode_replay: record '" + line +
+                              "' is missing a value for '" + key + "'");
+      }
+      return token;
+    };
+    if (key == "strategy") {
+      replay.strategy = rest();
+    } else if (key == "algorithm") {
+      replay.algorithm = rest();
+    } else if (key == "param") {
+      replay.param = static_cast<std::uint32_t>(parse_u64(rest(), key));
+    } else if (key == "synchronizer") {
+      const auto token = rest();
+      if (token != "on" && token != "off") {
+        throw InvalidArgument("decode_replay: synchronizer takes on|off");
+      }
+      replay.options.synchronizer = token == "on";
+    } else if (key == "delay") {
+      replay.options.delay = parse_delay_model(rest());
+    } else if (key == "loss") {
+      replay.options.faults.loss = parse_prob(rest(), key);
+    } else if (key == "dup") {
+      replay.options.faults.duplicate = parse_prob(rest(), key);
+    } else if (key == "timeout") {
+      replay.options.round_timeout = parse_u64(rest(), key);
+    } else if (key == "seed") {
+      replay.options.seed = parse_u64(rest(), key);
+    } else if (key == "crash") {
+      CrashEvent c;
+      c.node = static_cast<port::NodeId>(parse_u64(rest(), key));
+      c.time = parse_u64(rest(), key);
+      replay.options.faults.crashes.push_back(c);
+    } else if (key == "prioseed") {
+      replay.options.schedule.prio_seed = parse_u64(rest(), key);
+    } else if (key == "demote") {
+      replay.options.schedule.demote_ticks = parse_u64(rest(), key);
+    } else if (key == "change") {
+      replay.options.schedule.change_points.push_back(parse_u64(rest(), key));
+    } else if (key == "override") {
+      DelayOverride o;
+      o.port = static_cast<std::uint32_t>(parse_u64(rest(), key));
+      o.ticks = parse_u64(rest(), key);
+      replay.options.schedule.delay_overrides.push_back(o);
+    } else if (key == "metric") {
+      const auto name = rest();
+      replay.metrics.emplace_back(name, parse_u64(rest(), key));
+    } else {
+      throw InvalidArgument("decode_replay: unknown record '" + key + "'");
+    }
+  }
+  if (!saw_graph) {
+    throw InvalidArgument("decode_replay: missing 'graph' section");
+  }
+  std::ostringstream graph_text;
+  graph_text << is.rdbuf();
+  replay.graph_text = graph_text.str();
+  if (replay.algorithm.empty()) {
+    throw InvalidArgument("decode_replay: missing 'algorithm' record");
+  }
+  return replay;
 }
 
 std::string format_fault_log(const std::vector<FaultEvent>& log) {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "port/port_graph.hpp"
@@ -124,6 +125,55 @@ struct FaultEvent {
 [[nodiscard]] std::string format_fault_log(
     const std::vector<FaultEvent>& log);
 
+/// One forced entry of the per-link delay matrix: the directed link behind
+/// flat port index `port` takes exactly `ticks` instead of its sampled
+/// delay.  The adversarial scheduler (runtime/sched.hpp) perturbs runs by
+/// overriding selected entries; the engine validates `port` against the
+/// plan and rejects zero ticks (a zero-latency link would collapse the
+/// model back to synchrony).
+struct DelayOverride {
+  std::uint32_t port = 0;   ///< flat directed-port index into the matrix
+  std::uint64_t ticks = 1;  ///< forced latency, >= 1
+
+  [[nodiscard]] bool operator==(const DelayOverride&) const = default;
+};
+
+/// An adversarial schedule: a deterministic perturbation of one async run.
+/// Plain data with value semantics, embedded in AsyncOptions — results stay
+/// a pure function of (options, schedule), which is what makes a serialized
+/// schedule replay bit-identically (see ReplayFile).
+///
+/// Two perturbation lanes, composable:
+///
+///  * PCT-style priorities.  When `prio_seed` is non-zero every node gets a
+///    random priority (a pure hash of prio_seed and the node id) that
+///    breaks same-virtual-time ties in the timeline ahead of the structural
+///    (node, port, seq) order.  `change_points` are event-pop counts: when
+///    the k-th change point is crossed, the node whose event crossed it is
+///    *demoted* — it drops below every initial priority and, crucially, all
+///    of its subsequent transmissions take `demote_ticks` extra ticks, so a
+///    demoted node's messages can slip past its partners' round deadlines.
+///    This is the classic PCT scheduler mapped onto a virtual-time event
+///    queue: d change points explore depth-d ordering bugs.
+///
+///  * Delay overrides.  `delay_overrides` force individual entries of the
+///    per-link delay matrix after sampling (see DelayOverride).
+struct Schedule {
+  std::uint64_t prio_seed = 0;  ///< 0 = structural tie-break (no priorities)
+  std::uint64_t demote_ticks = 0;  ///< extra send latency once demoted
+  std::vector<std::uint64_t> change_points;  ///< event counts (PCT demotions)
+  std::vector<DelayOverride> delay_overrides;
+
+  /// True when the schedule perturbs nothing — the engine then behaves
+  /// byte-identically to a build without schedules at all.
+  [[nodiscard]] bool empty() const noexcept {
+    return prio_seed == 0 && demote_ticks == 0 && change_points.empty() &&
+           delay_overrides.empty();
+  }
+
+  [[nodiscard]] bool operator==(const Schedule&) const = default;
+};
+
 /// Configuration of one asynchronous run.  Embedded in ExecOptions::async;
 /// when present there, run_synchronous routes the run through the
 /// event-driven engine instead of the round loop.
@@ -155,7 +205,48 @@ struct AsyncOptions {
   /// in-flight message can exceed.
   std::uint64_t round_timeout = 0;
 
+  /// Adversarial perturbation of this run (empty = none).  Change points
+  /// require a non-zero prio_seed and every delay override must name an
+  /// in-range flat port with ticks >= 1; the engine rejects violations up
+  /// front with InvalidArgument.
+  Schedule schedule;
+
   [[nodiscard]] bool operator==(const AsyncOptions&) const = default;
 };
+
+/// A versioned, self-contained replay file: everything needed to re-execute
+/// one adversarial async run bit-identically — the instance (embedded in
+/// the portgraph text format), the algorithm, the full AsyncOptions
+/// including the Schedule, and the worst metrics the search recorded so a
+/// replay can verify the run still exhibits them.  The codec is line-based
+/// ("edsched 1" header, `key value...` records, the graph after a `graph`
+/// marker); decode_replay rejects unknown schema versions and malformed
+/// records with InvalidArgument.
+struct ReplayFile {
+  std::string strategy = "random";  ///< adversary strategy token (bookkeeping)
+  std::string algorithm;            ///< algo::algorithm_token vocabulary
+  std::uint32_t param = 0;          ///< algorithm parameter (resolved)
+  AsyncOptions options;             ///< full run configuration + schedule
+  /// Recorded worst metrics, (name, value) in recording order — e.g.
+  /// ("selected", 7).  A replay re-measures and compares exactly.
+  std::vector<std::pair<std::string, std::uint64_t>> metrics;
+  std::string graph_text;           ///< port::write_port_graph serialization
+
+  [[nodiscard]] bool operator==(const ReplayFile&) const = default;
+};
+
+/// The replay-file format version encode_replay writes and decode_replay
+/// accepts.  Bumped on any incompatible change; a mismatch is a clean
+/// InvalidArgument, never a misparse.
+inline constexpr std::uint32_t kReplaySchemaVersion = 1;
+
+/// Serializes `replay` into the versioned text format.
+[[nodiscard]] std::string encode_replay(const ReplayFile& replay);
+
+/// Parses a replay file; throws InvalidArgument on a missing/mismatched
+/// schema header, unknown records, malformed numbers or a missing graph
+/// section.  Round-trips encode_replay exactly (including the loss and
+/// duplication probabilities, written with max_digits10 precision).
+[[nodiscard]] ReplayFile decode_replay(const std::string& text);
 
 }  // namespace eds::runtime

@@ -1,0 +1,188 @@
+// Adversarial schedule search for the asynchronous engine.
+//
+// The paper's guarantees are worst-case over all port numberings and all
+// executions; seed-random sampling of the async engine explores executions
+// blindly.  AdversarialScheduler turns that into a directed search: it
+// generates Schedule perturbations (runtime/fault.hpp) for AsyncPolicy's
+// timeline — which orders events by (time, priority, node, port, seq) and
+// honours per-link delay overrides — runs them, and keeps the worst witness
+// per metric.  Four strategies:
+//
+//  * kRandom — seed-random sampling, the baseline the adversaries are
+//    measured against: each probe re-seeds the run (fresh delay matrix and
+//    fault draws), no Schedule at all.
+//  * kPct — PCT-style random priorities with d change points: every probe
+//    draws a fresh priority seed and d event-count change points; crossing
+//    one demotes the node that crossed it (its sends then take demote_ticks
+//    extra latency), the virtual-time analogue of PCT's depth-d priority
+//    lowering.
+//  * kDelay — delay-bounded perturbation of the per-link delay matrix:
+//    each probe forces a random subset of links to adversarially chosen
+//    latencies within a bound derived from the delay model and the round
+//    timeout (large enough to blow an explicit timeout, never unbounded).
+//  * kClimb — greedy hill-climb: mutate the best schedule found so far
+//    (flip overrides, add/drop change points, re-seed priorities) and keep
+//    the mutant whenever its lexicographic badness score does not regress.
+//
+// Every probe is a pure function of (base options, schedule), so any
+// witness serializes into a ReplayFile and re-executes bit-identically;
+// shrink_witness delta-debugs a witness schedule down to a minimal
+// reproducer that still exhibits the recorded metric.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runtime/async.hpp"
+
+namespace eds::runtime {
+
+/// The search strategies (see the header comment).
+enum class AdversaryStrategy : std::uint8_t {
+  kRandom,  ///< seed-random sampling (the baseline)
+  kPct,     ///< random priorities + d change-point demotions
+  kDelay,   ///< bounded perturbation of the delay matrix
+  kClimb,   ///< greedy hill-climb over schedule mutations
+};
+
+/// CLI/wire token for `strategy` ("random", "pct", "delay", "climb").
+[[nodiscard]] std::string adversary_token(AdversaryStrategy strategy);
+
+/// Inverse of adversary_token; nullopt for an unknown token.
+[[nodiscard]] std::optional<AdversaryStrategy> adversary_from_token(
+    const std::string& token);
+
+/// The observables the search maximizes, extracted from one AsyncResult.
+/// `selected` counts structural edges claimed from *both* endpoints (the
+/// approximation-ratio numerator); `inconsistent` counts one-sided port
+/// claims — the endpoint-inconsistency metric of the degradation story.
+struct ScheduleMetrics {
+  Round rounds = 0;                ///< rounds-to-halt (max fired round)
+  std::uint64_t virtual_time = 0;  ///< ticks-to-halt (virtual clock)
+  std::uint64_t selected = 0;      ///< edges selected consistently
+  std::uint64_t inconsistent = 0;  ///< one-sided selection claims
+
+  [[nodiscard]] bool operator==(const ScheduleMetrics&) const = default;
+};
+
+/// The metric axes, for shrink targets and replay verification.
+enum class AdversaryMetric : std::uint8_t {
+  kRounds,
+  kVirtualTime,
+  kSelected,
+  kInconsistent,
+};
+
+/// Stable token for a metric ("rounds", "time", "selected", "inconsistent")
+/// — the vocabulary of ReplayFile::metrics.
+[[nodiscard]] std::string metric_token(AdversaryMetric metric);
+
+/// Inverse of metric_token; nullopt for an unknown token.
+[[nodiscard]] std::optional<AdversaryMetric> metric_from_token(
+    const std::string& token);
+
+/// Reads one axis out of a ScheduleMetrics.
+[[nodiscard]] std::uint64_t metric_value(const ScheduleMetrics& metrics,
+                                         AdversaryMetric metric);
+
+/// Computes the metrics of one finished run on `g`.
+[[nodiscard]] ScheduleMetrics measure_schedule(const port::PortGraph& g,
+                                               const AsyncResult& result);
+
+/// One evaluated schedule the search decided to keep: the exact options
+/// that produced it (including the Schedule), its metrics, and the full
+/// result for downstream feasibility/ratio analysis.
+struct ScheduleWitness {
+  AsyncOptions options;
+  ScheduleMetrics metrics;
+  AsyncResult result;
+};
+
+/// Outcome of one search: the worst witness per metric (ties keep the
+/// earliest probe, so reports are deterministic), plus accounting.
+struct AdversaryReport {
+  ScheduleWitness worst_rounds;
+  ScheduleWitness worst_time;
+  ScheduleWitness worst_selected;
+  ScheduleWitness worst_inconsistent;
+  std::size_t evaluated = 0;  ///< probes that ran to completion
+  std::size_t failures = 0;   ///< probes whose run threw (crash witnesses)
+
+  /// The headline witness: inconsistency when any probe produced one-sided
+  /// claims, otherwise the largest selection (the ratio numerator),
+  /// otherwise the slowest run — the precedence the hill-climb score uses.
+  [[nodiscard]] const ScheduleWitness& primary() const;
+
+  /// The metric axis primary() was chosen on.
+  [[nodiscard]] AdversaryMetric primary_metric() const;
+};
+
+/// The pluggable schedule generator: one instance per (instance, strategy)
+/// search.  propose() yields the schedule for probe `step`; observe() feeds
+/// the measured outcome back (the hill-climb's fitness signal; a no-op for
+/// the stateless strategies).  Deterministic in (strategy, base, seed) —
+/// two searches with equal inputs propose identical schedule sequences.
+class AdversarialScheduler {
+ public:
+  /// `total_ports` is the instance's flat port count (the delay-matrix
+  /// width); `horizon` an event-count estimate for change-point placement —
+  /// pass the unperturbed run's AsyncStats::events.
+  AdversarialScheduler(AdversaryStrategy strategy, AsyncOptions base,
+                       std::uint64_t seed, std::size_t total_ports,
+                       std::uint64_t horizon);
+
+  /// Options for probe `step` (step 0 is always the unperturbed base, so
+  /// every report's worst is at least the base run).
+  [[nodiscard]] AsyncOptions propose(std::size_t step) const;
+
+  /// Feeds probe `step`'s outcome back into the strategy state.
+  void observe(std::size_t step, const AsyncOptions& options,
+               const ScheduleMetrics& metrics);
+
+ private:
+  AdversaryStrategy strategy_;
+  AsyncOptions base_;
+  std::uint64_t seed_ = 0;
+  std::size_t total_ports_ = 0;
+  std::uint64_t horizon_ = 0;
+  std::uint64_t delay_bound_ = 1;
+  // Hill-climb state: the incumbent and its score.
+  AsyncOptions best_;
+  std::array<std::uint64_t, 4> best_score_{};
+  bool have_best_ = false;
+};
+
+/// Runs `budget` probes of `strategy` against one instance and returns the
+/// worst witness per metric.  `seed` drives the search (probe seeds,
+/// priorities, mutations); `base` is the environment under attack (delay
+/// model, faults, timeout).  Throws InvalidArgument when `base` runs the
+/// α-synchronizer: that mode is schedule-oblivious by construction (its
+/// outputs are bit-identical to the synchronous engine for every delay
+/// matrix), so searching it is a user error.  Probes that throw (an algorithm
+/// driven past max_rounds, say) are counted in `failures` and skipped.
+/// Deterministic: equal arguments give equal reports, independent of
+/// thread count (the loop is sequential by design).
+[[nodiscard]] AdversaryReport adversary_search(const port::PortGraph& g,
+                                               const ProgramFactory& factory,
+                                               AdversaryStrategy strategy,
+                                               const AsyncOptions& base,
+                                               std::size_t budget,
+                                               std::uint64_t seed,
+                                               const RunOptions& run_options = {});
+
+/// Delta-debugging shrink: reduces `witness.options.schedule` to a minimal
+/// reproducer whose `metric` is still >= the witness's recorded value —
+/// first dropping whole lanes (change points, overrides, the priority
+/// seed), then ddmin-style chunk removal over the change-point and
+/// override lists.  Returns a fresh witness for the shrunk schedule with
+/// its *own* measured metrics (>= the target on `metric` by construction),
+/// so serializing it records exactly what a replay will reproduce.
+[[nodiscard]] ScheduleWitness shrink_witness(const port::PortGraph& g,
+                                             const ProgramFactory& factory,
+                                             const ScheduleWitness& witness,
+                                             AdversaryMetric metric,
+                                             const RunOptions& run_options = {});
+
+}  // namespace eds::runtime

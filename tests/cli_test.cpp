@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cli/cli.hpp"
@@ -551,6 +553,112 @@ TEST(Cli, SweepModelAsyncRejections) {
       fails({"--model", "async", "--loss", "0.5", "--synchronizer", "on"}),
       2);
   EXPECT_EQ(fails({"--model", "async", "--synchronizer", "sideways"}), 2);
+}
+
+TEST(Cli, SweepAdversaryEchoesConfigAndEmitsWorstCaseRows) {
+  // One instance, one search: a row with the full worst-case metric set and
+  // a summary echoing the adversary configuration.
+  const auto run = invoke({"sweep", "cycle", "--min", "8", "--max", "8",
+                           "--model", "async", "--adversary", "delay",
+                           "--budget", "8", "--timeout", "3", "--seed", "4",
+                           "--ndjson"});
+  ASSERT_EQ(run.code, 0) << run.err;
+  const auto lines = lines_of(run.out);
+  ASSERT_EQ(lines.size(), 2u) << run.out;
+
+  const auto& row = lines.front();
+  EXPECT_EQ(json_field(row, "family"), "\"cycle\"");
+  EXPECT_EQ(json_field(row, "adversary"), "\"delay\"");
+  EXPECT_EQ(json_field(row, "budget"), "8");
+  EXPECT_EQ(json_field(row, "evaluated"), "8");
+  for (const char* key :
+       {"failures", "worst_rounds", "worst_time", "worst_selected",
+        "worst_inconsistent", "primary", "shrunk_changes",
+        "shrunk_overrides"}) {
+    EXPECT_NE(json_field(row, key), "") << "row missing " << key;
+  }
+  // cycle(8) has 8 <= 24 edges: the exact optimum and the worst-case
+  // approximation ratio are part of the row.
+  EXPECT_EQ(json_field(row, "optimum"), "3");
+  EXPECT_NE(json_field(row, "worst_ratio"), "");
+
+  const auto& summary = lines.back();
+  ASSERT_NE(summary.find("\"summary\""), std::string::npos);
+  EXPECT_EQ(json_field(summary, "adversary"), "\"delay\"");
+  EXPECT_EQ(json_field(summary, "budget"), "8");
+  // Adversaries imply free-running mode unless overridden.
+  EXPECT_NE(summary.find("\"synchronizer\":false"), std::string::npos);
+}
+
+TEST(Cli, SweepAdversaryReplayRoundTripIsByteIdentical) {
+  // The differential replay acceptance path end to end: search under
+  // --threads 1 and --threads 8 (byte-identical reports and replay files),
+  // then re-execute the serialized worst schedule — every recorded metric
+  // must reproduce, again independent of the thread count.
+  const auto dir = ::testing::TempDir() + "cli_adversary_replay";
+  std::filesystem::create_directories(dir);
+  const std::vector<std::string> base{
+      "sweep", "cycle", "--min", "8", "--max", "8", "--model", "async",
+      "--adversary", "delay", "--budget", "8", "--timeout", "3",
+      "--seed", "4", "--ndjson", "--replay-out", dir};
+  auto one = base;
+  one.insert(one.end(), {"--threads", "1"});
+  auto many = base;
+  many.insert(many.end(), {"--threads", "8"});
+  const auto a = invoke(one);
+  const auto b = invoke(many);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+
+  auto path = json_field(lines_of(a.out).front(), "replay");
+  ASSERT_GE(path.size(), 2u);
+  path = path.substr(1, path.size() - 2);  // strip the JSON quotes
+  EXPECT_EQ(path, dir + "/worst-cycle-0.edsched");
+
+  const auto replay_one = invoke({"sweep", "--replay", path, "--threads", "1"});
+  const auto replay_many =
+      invoke({"sweep", "--replay", path, "--threads", "8"});
+  ASSERT_EQ(replay_one.code, 0) << replay_one.err;
+  ASSERT_EQ(replay_many.code, 0) << replay_many.err;
+  EXPECT_EQ(replay_one.out, replay_many.out);
+  EXPECT_NE(replay_one.out.find("replay: schema=1 strategy=delay"),
+            std::string::npos)
+      << replay_one.out;
+  EXPECT_NE(replay_one.out.find("--- transcript ---"), std::string::npos);
+  EXPECT_NE(replay_one.out.find("--- fault log ---"), std::string::npos);
+  EXPECT_NE(replay_one.out.find("reproduced"), std::string::npos);
+  EXPECT_EQ(replay_one.out.find("DRIFT"), std::string::npos) << replay_one.out;
+}
+
+TEST(Cli, SweepAdversaryRejections) {
+  const auto fails = [](std::vector<std::string> extra) {
+    std::vector<std::string> args{"sweep", "cycle", "--min", "8", "--max",
+                                  "8"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return invoke(args).code;
+  };
+  // The synchronous model has no schedules to attack.
+  EXPECT_EQ(fails({"--adversary", "delay", "--budget", "4"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--adversary", "chaos",
+                   "--budget", "4"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--adversary", "delay",
+                   "--budget", "0"}), 2);
+  // --budget / --replay-out are adversary-only knobs.
+  EXPECT_EQ(fails({"--model", "async", "--budget", "4"}), 2);
+  EXPECT_EQ(fails({"--budget", "4"}), 2);
+  EXPECT_EQ(fails({"--model", "async", "--replay-out", "/tmp"}), 2);
+  // The α-synchronizer absorbs every schedule: refuse the no-op search.
+  EXPECT_EQ(fails({"--model", "async", "--adversary", "pct", "--budget", "4",
+                   "--synchronizer", "on"}), 2);
+  // Replay rejections: missing file, not a replay file.
+  EXPECT_EQ(invoke({"sweep", "--replay", "/no/such/file.edsched"}).code, 2);
+  const auto garbage = ::testing::TempDir() + "cli_garbage.edsched";
+  {
+    std::ofstream sink(garbage);
+    sink << "not a replay\n";
+  }
+  EXPECT_EQ(invoke({"sweep", "--replay", garbage}).code, 2);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/runner.hpp"
 #include "util/rng.hpp"
+#include "invariants.hpp"
 #include "test_util.hpp"
 
 namespace eds::runtime {
@@ -61,6 +62,9 @@ void expect_all_policies_match(const PortGraph& g,
   options.collect_trace = true;
   options.collect_messages = true;
   const auto expected = reference_run(g, factory, options);
+  // Synchronous runs must satisfy endpoint consistency (shared harness;
+  // vacuous for outputs-free programs like echo and relay).
+  test::check_eds_invariants(g, expected, label);
   for (const unsigned threads : policy_thread_counts()) {
     options.exec.threads = threads;
     const auto got = run_synchronous(g, factory, options);

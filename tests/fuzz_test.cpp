@@ -17,6 +17,7 @@
 #include "runtime/outputs.hpp"
 #include "runtime/runner.hpp"
 #include "util/rng.hpp"
+#include "invariants.hpp"
 #include "test_util.hpp"
 
 namespace eds {
@@ -53,8 +54,7 @@ TEST(Fuzz, DoubleCoverOnMultigraphsIsConsistent) {
     const auto g = port::random_port_graph(random_degrees(rng, 10, 5), rng);
     const algo::DoubleCoverFactory factory(5);
     const auto result = runtime::run_synchronous(g, factory);
-    EXPECT_NO_THROW((void)runtime::validated_selection_size(g, result))
-        << "trial " << trial;
+    test::check_eds_invariants(g, result, "trial " + std::to_string(trial));
   }
 }
 
@@ -65,6 +65,7 @@ TEST(Fuzz, PortOneOnRegularMultigraphsIsConsistent) {
     const auto g = port::random_port_graph(degrees, rng, 0.2);
     const algo::PortOneFactory factory;
     const auto result = runtime::run_synchronous(g, factory);
+    test::check_eds_invariants(g, result, "trial " + std::to_string(trial));
     const auto selected = runtime::validated_selection_size(g, result);
     EXPECT_GE(selected, 1u);  // some port 1 always selects something
   }
@@ -96,6 +97,29 @@ TEST(Fuzz, ViewEqualityImpliesOutputEqualityOnMultigraphs) {
           EXPECT_EQ(result.outputs[v], result.outputs[u]);
         }
       }
+    }
+  }
+}
+
+TEST(Fuzz, DriverOutcomesSatisfyEdsInvariants) {
+  // The full shared harness on driver outcomes: feasibility always, the
+  // Table 1 bound wherever one applies (small instances get an exact
+  // optimum).  Odd-regular instances exercise the regular-row bound,
+  // bounded instances the bounded-degree row.
+  auto rng = test::make_rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto regular = test::random_ported_regular(8, 3, rng);
+    const auto odd = algo::run_algorithm(regular, algo::Algorithm::kOddRegular,
+                                         3);
+    test::check_eds_invariants(regular, odd, algo::Algorithm::kOddRegular, 3,
+                               "odd trial " + std::to_string(trial));
+
+    const auto bounded = test::random_ported_bounded(8, 3, 10, rng);
+    for (const auto alg : {algo::Algorithm::kBoundedDegree,
+                           algo::Algorithm::kDoubleCover}) {
+      const auto outcome = algo::run_algorithm(bounded, alg, 3);
+      test::check_eds_invariants(bounded, outcome, alg, 3,
+                                 "bounded trial " + std::to_string(trial));
     }
   }
 }

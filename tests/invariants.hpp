@@ -1,0 +1,117 @@
+// The shared EDS invariant-checking harness.
+//
+// Three properties recur across the engine, async, fuzz, and adversary
+// suites, previously re-asserted ad hoc in each:
+//
+//  1. Feasibility — the selected edge set is an edge dominating set of the
+//     underlying simple graph.
+//  2. Approximation bound — |D| / |D*| stays within the paper's Table 1
+//     guarantee for the algorithm that produced it (checked only when an
+//     exact optimum is computable and a bound applies).
+//  3. Endpoint consistency — i ∈ X(v) with p(v, i) = (u, j) implies
+//     j ∈ X(u): no edge is claimed from one side only.
+//
+// check_eds_invariants is the one entry point.  The PortedGraph overload
+// runs all three on a driver outcome; the PortGraph overload runs the
+// structural consistency check on a raw multigraph run (no centralised
+// edge semantics exist there).  Both emit gtest EXPECT failures with
+// context rather than throwing, so fuzz loops keep going and report every
+// violation of a batch.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "algo/driver.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/verify.hpp"
+#include "exact/exact_eds.hpp"
+#include "graph/simple_graph.hpp"
+#include "port/port_graph.hpp"
+#include "port/ported_graph.hpp"
+#include "runtime/outputs.hpp"
+#include "runtime/runner.hpp"
+#include "util/fraction.hpp"
+
+namespace eds::test {
+
+/// Edge-count ceiling for computing the exact optimum inside an invariant
+/// check: large enough for every fixture the suites use, small enough that
+/// a fuzz batch stays fast.
+inline constexpr std::size_t kInvariantExactEdgeLimit = 24;
+
+/// The Table 1 guarantee applicable to `alg` on `pg`, if any.  `param` is
+/// the algorithm parameter the run used (0 = derive from the graph: the
+/// max degree).  Algorithms without a stated bound on general instances
+/// (all-edges, port-one on irregular graphs) yield nullopt — feasibility
+/// and consistency still apply to them.
+inline std::optional<Fraction> applicable_paper_bound(
+    const port::PortedGraph& pg, algo::Algorithm alg, port::Port param = 0) {
+  const auto& g = pg.graph();
+  std::size_t max_degree = 0;
+  std::size_t min_degree = g.num_nodes() == 0 ? 0 : g.num_edges() * 2;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max<std::size_t>(max_degree, g.degree(v));
+    min_degree = std::min<std::size_t>(min_degree, g.degree(v));
+  }
+  const bool regular = g.num_nodes() > 0 && max_degree == min_degree;
+  switch (alg) {
+    case algo::Algorithm::kOddRegular:
+      if (regular && max_degree % 2 == 1) {
+        return analysis::paper_bound_regular(max_degree);
+      }
+      return std::nullopt;
+    case algo::Algorithm::kBoundedDegree:
+    case algo::Algorithm::kDoubleCover: {
+      const auto delta = param != 0 ? param : max_degree;
+      if (delta == 0 || max_degree > delta) return std::nullopt;
+      return analysis::paper_bound_bounded(delta);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Full invariant suite on a driver outcome: feasibility always,
+/// approximation bound when one applies and the instance is small enough
+/// to solve exactly.  (Consistency already held or the driver would have
+/// thrown while converting outputs; the PortGraph overload is where raw
+/// runs get that check.)
+inline void check_eds_invariants(const port::PortedGraph& pg,
+                                 const algo::EdsOutcome& outcome,
+                                 algo::Algorithm alg, port::Port param = 0,
+                                 const std::string& context = "") {
+  const auto& g = pg.graph();
+  EXPECT_TRUE(analysis::is_edge_dominating_set(g, outcome.solution))
+      << context << ": " << algo::algorithm_token(alg)
+      << " output is not an edge dominating set";
+  if (g.num_edges() == 0 || g.num_edges() > kInvariantExactEdgeLimit) return;
+  const auto optimum = exact::minimum_eds_size(g);
+  if (optimum == 0) return;
+  const auto ratio = analysis::approximation_ratio(outcome.solution.size(),
+                                                   optimum);
+  EXPECT_GE(ratio, Fraction(1))
+      << context << ": solution smaller than the optimum — a verifier bug";
+  if (const auto bound = applicable_paper_bound(pg, alg, param)) {
+    EXPECT_LE(ratio, *bound)
+        << context << ": " << algo::algorithm_token(alg) << " ratio "
+        << ratio << " exceeds the paper bound " << *bound;
+  }
+}
+
+/// Structural overload for raw multigraph runs: endpoint consistency via
+/// validated_selection_size (throws on a one-sided claim, so the check is
+/// an EXPECT_NO_THROW with context).  Intended for fault-free executions;
+/// degraded runs should measure inconsistency (consistent_selection_size,
+/// runtime::measure_schedule) instead of asserting its absence.
+inline void check_eds_invariants(const port::PortGraph& g,
+                                 const runtime::RunResult& result,
+                                 const std::string& context = "") {
+  EXPECT_NO_THROW((void)runtime::validated_selection_size(g, result))
+      << context << ": output claims an edge from one side only";
+}
+
+}  // namespace eds::test
