@@ -101,7 +101,7 @@ void usage(std::ostream& out) {
          "      --threads N runs the engine's parallel policy (same result)\n"
          "  sweep <family> [--min N] [--max N] [--step S] [--d D]\n"
          "        [--algorithm A] [--param P] [--seed S] [--threads N]\n"
-         "        [--shards N] [--repeat R] [--ndjson]\n"
+         "        [--shards N] [--no-pool] [--repeat R] [--ndjson]\n"
          "        [--model sync|async] [--delay SPEC] [--loss P] [--dup P]\n"
          "        [--crash K] [--timeout T] [--synchronizer on|off]\n"
          "        [--adversary random|pct|delay|climb] [--budget N]\n"
@@ -121,11 +121,13 @@ void usage(std::ostream& out) {
          "      --ndjson streams one JSON object per job as results arrive\n"
          "      (in job order, no full-batch barrier) plus a summary line\n"
          "      with the plan-cache counters; every object carries\n"
-         "      \"schema\":1;\n"
+         "      \"schema\":2;\n"
          "      --shards N fans the jobs across N `edsim worker`\n"
          "      subprocesses instead of threads (0 = one per hardware\n"
-         "      thread; output is byte-identical either way; workers keep\n"
-         "      per-shard plan caches, summed in the summary);\n"
+         "      thread; output is byte-identical either way; workers are\n"
+         "      pooled — they stay warm between batches with per-shard\n"
+         "      plan caches, summed in the summary — and --no-pool\n"
+         "      restores the fork-per-batch behaviour);\n"
          "      --model async runs the event-driven asynchronous engine:\n"
          "      --delay fixed:T|uniform:LO:HI|geometric:MEAN[:CAP] is the\n"
          "      per-link delay model, the α-synchronizer (--synchronizer,\n"
@@ -135,7 +137,9 @@ void usage(std::ostream& out) {
          "      loss, duplication and K crashed nodes per instance while\n"
          "      --timeout T bounds how long a round waits (0 = auto);\n"
          "      rows gain \"model\"/\"consistent\" fields, degradation is\n"
-         "      reported, not fatal; async runs never combine with --shards;\n"
+         "      reported, not fatal; async runs cross the --shards wire\n"
+         "      (schema 2 carries the async options) but --adversary does\n"
+         "      not — schedules are an in-process search artifact;\n"
          "      --adversary STRATEGY searches --budget N schedules per\n"
          "      instance for worst-case behaviour (random = seed-random\n"
          "      baseline, pct = random-priority change points, delay =\n"
@@ -541,11 +545,6 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     }
   }
   if (async_model) {
-    if (args.has("shards")) {
-      err << "sweep: --model async cannot run under --shards (async jobs "
-             "do not cross the schema-1 wire); drop one of the two\n";
-      return 2;
-    }
     try {
       async_base.delay =
           runtime::parse_delay_model(args.get("delay", "fixed:1"));
@@ -609,19 +608,32 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
 
   // --shards N swaps the in-process pool for `edsim worker` subprocesses;
   // everything downstream (row printing, summary, exit code) is backend
-  // agnostic, which is what makes the outputs byte-identical.
+  // agnostic, which is what makes the outputs byte-identical.  Since
+  // schema 2 async jobs cross the wire too; adversarial searches stay
+  // in-process (their schedules are a search artifact, not wire payload).
   std::unique_ptr<runtime::ProcessShardExecutor> shard_exec;
+  if (args.has("no-pool") && !args.has("shards")) {
+    err << "sweep: --no-pool only makes sense with --shards\n";
+    return 2;
+  }
   if (args.has("shards")) {
+    if (adversary) {
+      err << "sweep: --adversary cannot run under --shards (adversarial "
+             "schedules do not cross the wire); drop one of the two\n";
+      return 2;
+    }
     const auto bin = worker_binary(args);
     if (bin.empty()) {
       err << "sweep: cannot resolve the edsim binary for --shards "
              "(pass --worker-bin PATH or set EDSIM_BIN)\n";
       return 2;
     }
+    runtime::ProcessShardExecutor::Options pool_options;
+    pool_options.pooled = !args.has("no-pool");
     try {
       shard_exec = std::make_unique<runtime::ProcessShardExecutor>(
           std::vector<std::string>{bin, "worker"},
-          static_cast<unsigned>(args.get_u64("shards", 0)));
+          static_cast<unsigned>(args.get_u64("shards", 0)), pool_options);
     } catch (const Error& e) {
       err << "sweep: " << e.what() << '\n';
       return 2;
@@ -1004,13 +1016,20 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
         params[k] = algo::resolved_param(pg, algorithms[k], item_param);
         factories.push_back(algo::make_factory(algorithms[k], params[k]));
         if (adversary) continue;
+        runtime::JobSpec spec;
+        spec.algorithm = algo::algorithm_token(algorithms[k]);
+        spec.param = params[k];
+        // One hash walk per instance, as in the portgraph branch: group
+        // routing is what keeps the per-shard caches equivalent to the
+        // single in-process cache.
+        spec.group = runtime::structural_hash(pg.ports());
         for (std::size_t r = 0; r < repeat; ++r) {
           runtime::RunOptions options;
           options.exec.plan_cache = &plan_cache;
           options.exec.async =
               async_for_job(jobs.size(), pg.graph().num_nodes());
           jobs.push_back(
-              {&pg.ports(), factories.back().get(), options, std::nullopt});
+              {&pg.ports(), factories.back().get(), options, spec});
         }
       }
 
@@ -1049,7 +1068,10 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
       TextTable table("");
       table.header(
           {"n", "edges", "algorithm", "rounds", "messages", "|D|", "ok"});
-      runtime::BatchRunner(threads).run_streaming(
+      const runtime::BatchRunner async_runner =
+          shard_exec != nullptr ? runtime::BatchRunner(shard_exec.get())
+                                : runtime::BatchRunner(threads);
+      async_runner.run_streaming(
           jobs, [&](std::size_t i, runtime::RunResult&& result) {
             const auto& pg = instances[i / repeat];
             const auto& g = pg.graph();
@@ -1164,33 +1186,35 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 /// Hidden subcommand behind `edsim sweep --shards`: one shard of a
-/// ProcessShardExecutor batch.  Speaks the schema-1 NDJSON protocol of
-/// runtime/shard.hpp on stdin/stdout — one job line in, one result (or
-/// error) line out, flushed per job so the parent can stream, then a
-/// worker_summary line on stdin EOF.  A job that fails its run produces an
-/// error line and the worker carries on: draining the batch is the
-/// parent's prefix-rule contract.  Jobs run under a worker-local PlanCache
-/// (the per-shard cache of the design), whose counters feed the summary.
+/// ProcessShardExecutor pool.  Speaks the framed schema-2 NDJSON protocol
+/// of runtime/shard.hpp on stdin/stdout: batches arrive as batch_begin /
+/// job lines / batch_end, each job answers with one result (or error)
+/// line, flushed per job so the parent can stream, and each batch_end
+/// answers with one worker_summary carrying the batch's cache-counter
+/// deltas plus the process-lifetime totals.  The PlanCache (the per-shard
+/// cache of the design) and the engine workspaces behind it live for the
+/// *process*, not the batch — that persistence is the whole point of the
+/// warm pool.  Stdin EOF between batches ends the worker cleanly.
+///
+/// Back-compat: when the *first* stdin line is a job line (schema 1 or an
+/// unframed schema-2 line) the worker runs the legacy single-batch
+/// protocol instead — jobs until EOF, then one summary in the first
+/// line's schema.  A job that fails its run produces an error line and
+/// the worker carries on: draining the batch is the parent's prefix-rule
+/// contract.  Malformed or out-of-frame lines are protocol failures:
+/// exit 2, loudly.
 ///
 /// `--fail-after K` is a test hook: exit 7 (without a summary) after K
-/// result lines, simulating a worker dying mid-batch.
+/// cumulative result lines, simulating a worker dying mid-batch.
 int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
                std::ostream& err) {
   const auto fail_after = args.get_u64("fail-after", 0);
   runtime::PlanCache cache;
-  runtime::WorkerSummary summary;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    runtime::WireJob job;
-    try {
-      job = runtime::decode_wire_job(line);
-    } catch (const Error& e) {
-      // A malformed job line is a protocol failure, not a job failure:
-      // die loudly and let the parent fail this shard's remaining jobs.
-      err << "worker: " << e.what() << '\n';
-      return 2;
-    }
+  std::uint64_t total_jobs = 0;
+
+  // Runs one job under the persistent cache, answering at `schema`.
+  // Returns false when the --fail-after hook fired (caller exits 7).
+  const auto run_job = [&](const runtime::WireJob& job, int schema) {
     try {
       const auto g = port::from_port_graph_string(job.graph_text);
       const auto algorithm = algo::algorithm_from_token(job.algorithm);
@@ -1203,22 +1227,101 @@ int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
       options.max_rounds = job.max_rounds;
       options.exec.threads = job.threads;
       options.exec.plan_cache = &cache;
+      options.exec.async = job.async;
       const auto result = runtime::run_synchronous(g, *factory, options);
-      out << runtime::encode_wire_result(job.index, result) << '\n';
+      out << runtime::encode_wire_result(job.index, result, schema) << '\n';
     } catch (const std::exception& e) {
       // Any job failure — eds::Error or std::bad_alloc alike — becomes an
       // error line for exactly that job, matching the in-process backend's
       // catch-everything per-job semantics.
-      out << runtime::encode_wire_error(job.index, e.what()) << '\n';
+      out << runtime::encode_wire_error(job.index, e.what(), schema) << '\n';
     }
     out.flush();
-    ++summary.jobs;
-    if (fail_after != 0 && summary.jobs >= fail_after) return 7;
+    ++total_jobs;
+    return !(fail_after != 0 && total_jobs >= fail_after);
+  };
+
+  std::string line;
+  int mode_schema = 0;  ///< locked by the first line (0 = nothing seen yet)
+  bool framed = false;
+  bool batch_open = false;
+  std::uint64_t batch_id = 0;
+  std::uint64_t batch_jobs = 0;
+  runtime::PlanCache::Stats batch_base;  // cache counters at batch_begin
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    runtime::ParentLine parsed;
+    try {
+      parsed = runtime::decode_parent_line(line);
+    } catch (const Error& e) {
+      // A malformed line is a protocol failure, not a job failure: die
+      // loudly and let the parent fail this shard's remaining jobs.
+      err << "worker: " << e.what() << '\n';
+      return 2;
+    }
+    if (mode_schema == 0) {
+      mode_schema = parsed.schema;
+      framed = parsed.kind == runtime::ParentLine::Kind::kBatchBegin;
+    }
+    switch (parsed.kind) {
+      case runtime::ParentLine::Kind::kBatchBegin:
+        if (!framed || batch_open) {
+          err << "worker: unexpected batch_begin\n";
+          return 2;
+        }
+        batch_open = true;
+        batch_id = parsed.batch_id;
+        batch_jobs = 0;
+        batch_base = cache.stats();
+        break;
+      case runtime::ParentLine::Kind::kJob:
+        if (framed && !batch_open) {
+          err << "worker: job line outside a batch\n";
+          return 2;
+        }
+        if (!run_job(parsed.job, framed ? runtime::kWireSchemaVersion
+                                        : mode_schema)) {
+          return 7;  // --fail-after: die without a summary
+        }
+        ++batch_jobs;
+        break;
+      case runtime::ParentLine::Kind::kBatchEnd: {
+        if (!framed || !batch_open || parsed.batch_id != batch_id) {
+          err << "worker: unexpected batch_end\n";
+          return 2;
+        }
+        const auto now = cache.stats();
+        runtime::WorkerSummary summary;
+        summary.batch_id = batch_id;
+        summary.jobs = batch_jobs;
+        summary.plans_compiled = now.misses - batch_base.misses;
+        summary.plan_hits = now.hits - batch_base.hits;
+        summary.total_jobs = total_jobs;
+        summary.total_compiled = now.misses;
+        summary.total_hits = now.hits;
+        out << runtime::encode_worker_summary(summary) << '\n';
+        out.flush();
+        batch_open = false;
+        break;
+      }
+    }
   }
+  // Framed workers end on EOF with no trailing line (every batch already
+  // got its summary); legacy single-batch workers summarize at EOF, in
+  // the schema the parent spoke.
+  if (framed) return 0;
   const auto stats = cache.stats();
+  runtime::WorkerSummary summary;
+  summary.jobs = total_jobs;
   summary.plans_compiled = stats.misses;
   summary.plan_hits = stats.hits;
-  out << runtime::encode_worker_summary(summary) << '\n';
+  summary.total_jobs = total_jobs;
+  summary.total_compiled = stats.misses;
+  summary.total_hits = stats.hits;
+  out << runtime::encode_worker_summary(
+             summary,
+             mode_schema == 0 ? runtime::kWireSchemaVersion : mode_schema)
+      << '\n';
   out.flush();
   return 0;
 }

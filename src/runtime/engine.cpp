@@ -40,6 +40,17 @@ std::unique_ptr<ExecutionPolicy> make_policy(const ExecOptions& exec) {
 
 namespace {
 
+#if defined(EDS_ENGINE_GATHER_PREFETCH)
+/// Software-prefetch distance for the receive gather's permuted loads, in
+/// ports.  Measured on BM_EngineDense (deg 16/64) and BM_Engine100k
+/// (deg 3) and REJECTED as the default: the in-loop branch and extra
+/// partner_flat load cost more than the prefetch recovers at every
+/// measured degree (docs/BENCHMARKS.md records the deltas), so the hint
+/// compiles only under -DEDS_ENGINE_GATHER_PREFETCH for re-evaluation on
+/// wider machines.
+constexpr Port kGatherPrefetchDistance = 8;
+#endif
+
 /// Per-shard accumulators; merged strictly in shard order so parallel runs
 /// reproduce the sequential order bit for bit.  Cache-line aligned so
 /// neighboring shards' counters never share a line.
@@ -380,6 +391,19 @@ RunResult run_plan(const ExecutionPlan& plan,
     Message* const in = sc.recv.data();
     const Message* const slots = from.slots.data();
     for (Port i = 0; i < deg; ++i) {
+#if defined(EDS_ENGINE_GATHER_PREFETCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+      // The partner permutation makes these loads data-dependent scatters
+      // the hardware prefetcher cannot follow; starting the line a few
+      // ports ahead overlaps the misses.  Measured a wash-to-regression
+      // at every benchmarked degree (see kGatherPrefetchDistance), hence
+      // opt-in only.
+      if (i + kGatherPrefetchDistance < deg) {
+        __builtin_prefetch(
+            &slots[plan.partner_flat(off + i + kGatherPrefetchDistance)],
+            /*rw=*/0, /*locality=*/0);
+      }
+#endif
       in[i] = slots[plan.partner_flat(off + i)];
     }
     programs[v]->receive(r, std::span<const Message>(in, deg));

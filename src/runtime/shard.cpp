@@ -1,22 +1,13 @@
 #include "runtime/shard.hpp"
 
-#include <cerrno>
-#include <thread>
-#include <unordered_map>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 #include <utility>
 
-#include "port/io.hpp"
-#include "runtime/reorder.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
-
-#if !defined(_WIN32)
-#include <fcntl.h>
-#include <pthread.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-#endif
 
 namespace eds::runtime {
 
@@ -106,6 +97,41 @@ class Cursor {
     return value;
   }
 
+  /// A JSON boolean literal.
+  [[nodiscard]] bool boolean() {
+    if (try_lit("true")) return true;
+    if (try_lit("false")) return false;
+    throw InvalidArgument("wire: expected boolean at offset " +
+                          std::to_string(pos_));
+  }
+
+  /// A non-negative real as std::ostream writes doubles at max_digits10
+  /// (plain or scientific notation) — the loss/duplication probabilities
+  /// round-trip bit-exactly through this.
+  [[nodiscard]] double real() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      const bool numeric = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                           c == 'E' || c == '+' || c == '-';
+      if (!numeric) break;
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw InvalidArgument("wire: expected number at offset " +
+                            std::to_string(pos_));
+    }
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(s_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) throw std::invalid_argument("trailing");
+      return value;
+    } catch (const std::exception&) {
+      throw InvalidArgument("wire: malformed number at offset " +
+                            std::to_string(start));
+    }
+  }
+
   [[nodiscard]] std::string str() {
     lit("\"");
     std::string out;
@@ -162,20 +188,105 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
-void append_prefix(std::string& out) {
+void check_schema_encodable(int schema) {
+  if (schema < kLegacyWireSchemaVersion || schema > kWireSchemaVersion) {
+    throw InvalidArgument("wire: cannot encode schema version " +
+                          std::to_string(schema));
+  }
+}
+
+void append_prefix(std::string& out, int schema) {
   out += "{\"schema\":";
-  out += std::to_string(kWireSchemaVersion);
+  out += std::to_string(schema);
   out += ',';
 }
 
-void consume_prefix(Cursor& c) {
+/// Consumes the versioned line prefix and returns the schema spoken.
+/// Anything outside [legacy, current] is rejected loudly, never misparsed.
+int consume_prefix(Cursor& c) {
   c.lit("{\"schema\":");
   const auto schema = c.uint();
-  if (schema != static_cast<std::uint64_t>(kWireSchemaVersion)) {
+  if (schema < static_cast<std::uint64_t>(kLegacyWireSchemaVersion) ||
+      schema > static_cast<std::uint64_t>(kWireSchemaVersion)) {
     throw InvalidArgument("wire: unsupported schema version " +
                           std::to_string(schema));
   }
   c.lit(",");
+  return static_cast<int>(schema);
+}
+
+/// Writes a probability exactly as the replay codec does — max_digits10,
+/// so decode's std::stod recovers the identical bits.
+std::string format_prob(double value) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return os.str();
+}
+
+/// The fixed-order `"async":{…}` segment of a schema-2 job line.
+void append_async(std::string& out, const AsyncOptions& async) {
+  out += "\"async\":{\"synchronizer\":";
+  out += async.synchronizer ? "true" : "false";
+  out += ",\"delay\":\"";
+  append_escaped(out, format_delay_model(async.delay));
+  out += "\",\"seed\":";
+  out += std::to_string(async.seed);
+  out += ",\"timeout\":";
+  out += std::to_string(async.round_timeout);
+  out += ",\"loss\":";
+  out += format_prob(async.faults.loss);
+  out += ",\"dup\":";
+  out += format_prob(async.faults.duplicate);
+  out += ",\"crashes\":[";
+  for (std::size_t k = 0; k < async.faults.crashes.size(); ++k) {
+    if (k != 0) out += ',';
+    out += '[';
+    out += std::to_string(async.faults.crashes[k].node);
+    out += ',';
+    out += std::to_string(async.faults.crashes[k].time);
+    out += ']';
+  }
+  out += "]},";
+}
+
+/// Parses the async segment after its `"synchronizer":` key literal.
+AsyncOptions decode_async(Cursor& c) {
+  AsyncOptions async;
+  async.synchronizer = c.boolean();
+  c.lit(",\"delay\":");
+  async.delay = parse_delay_model(c.str());
+  c.lit(",\"seed\":");
+  async.seed = c.uint();
+  c.lit(",\"timeout\":");
+  async.round_timeout = c.uint();
+  c.lit(",\"loss\":");
+  async.faults.loss = c.real();
+  c.lit(",\"dup\":");
+  async.faults.duplicate = c.real();
+  for (const double p : {async.faults.loss, async.faults.duplicate}) {
+    if (p < 0.0 || p > 1.0) {
+      throw InvalidArgument("wire: fault probability outside [0, 1]");
+    }
+  }
+  c.lit(",\"crashes\":[");
+  if (!c.peek(']')) {
+    while (true) {
+      CrashEvent crash;
+      c.lit("[");
+      crash.node = static_cast<port::NodeId>(c.uint());
+      c.lit(",");
+      crash.time = c.uint();
+      c.lit("]");
+      async.faults.crashes.push_back(crash);
+      if (c.peek(',')) {
+        c.lit(",");
+        continue;
+      }
+      break;
+    }
+  }
+  c.lit("]},");
+  return async;
 }
 
 /// Job-line body with the graph segment already escaped — the writer
@@ -183,10 +294,15 @@ void consume_prefix(Cursor& c) {
 /// repeat, instead of re-scanning the (potentially large) text per job.
 std::string encode_job_line(std::size_t index, const std::string& algorithm,
                             Port param, unsigned threads, Round max_rounds,
-                            const std::string& escaped_graph) {
+                            const std::optional<AsyncOptions>& async,
+                            const std::string& escaped_graph, int schema) {
+  check_schema_encodable(schema);
+  if (async.has_value() && schema < 2) {
+    throw InvalidArgument("wire: schema 1 carries no AsyncOptions");
+  }
   std::string out;
-  out.reserve(escaped_graph.size() + algorithm.size() + 96);
-  append_prefix(out);
+  out.reserve(escaped_graph.size() + algorithm.size() + 160);
+  append_prefix(out, schema);
   out += "\"job\":{\"index\":";
   out += std::to_string(index);
   out += ",\"algorithm\":\"";
@@ -197,27 +313,17 @@ std::string encode_job_line(std::size_t index, const std::string& algorithm,
   out += std::to_string(threads);
   out += ",\"max_rounds\":";
   out += std::to_string(max_rounds);
-  out += ",\"graph\":\"";
+  out += ',';
+  if (async.has_value()) append_async(out, *async);
+  out += "\"graph\":\"";
   out += escaped_graph;
   out += "\"}}";
   return out;
 }
 
-}  // namespace
-
-std::string encode_wire_job(const WireJob& job) {
-  std::string escaped;
-  escaped.reserve(job.graph_text.size());
-  append_escaped(escaped, job.graph_text);
-  return encode_job_line(job.index, job.algorithm, job.param, job.threads,
-                         job.max_rounds, escaped);
-}
-
-WireJob decode_wire_job(const std::string& line) {
-  Cursor c(line);
-  consume_prefix(c);
+/// Parses a job body after its `"job":{"index":` key literal.
+WireJob decode_job_body(Cursor& c, int schema) {
   WireJob job;
-  c.lit("\"job\":{\"index\":");
   job.index = static_cast<std::size_t>(c.uint());
   c.lit(",\"algorithm\":");
   job.algorithm = c.str();
@@ -227,17 +333,88 @@ WireJob decode_wire_job(const std::string& line) {
   job.threads = static_cast<unsigned>(c.uint());
   c.lit(",\"max_rounds\":");
   job.max_rounds = static_cast<Round>(c.uint());
-  c.lit(",\"graph\":");
+  c.lit(",");
+  if (schema >= 2 && c.try_lit("\"async\":{\"synchronizer\":")) {
+    job.async = decode_async(c);
+  }
+  c.lit("\"graph\":");
   job.graph_text = c.str();
   c.lit("}}");
   c.end();
   return job;
 }
 
-std::string encode_wire_result(std::size_t index, const RunResult& result) {
+}  // namespace
+
+std::string encode_wire_job(const WireJob& job, int schema) {
+  std::string escaped;
+  escaped.reserve(job.graph_text.size());
+  append_escaped(escaped, job.graph_text);
+  return encode_job_line(job.index, job.algorithm, job.param, job.threads,
+                         job.max_rounds, job.async, escaped, schema);
+}
+
+WireJob decode_wire_job(const std::string& line) {
+  Cursor c(line);
+  const int schema = consume_prefix(c);
+  c.lit("\"job\":{\"index\":");
+  return decode_job_body(c, schema);
+}
+
+std::string encode_batch_begin(std::uint64_t batch_id) {
+  std::string out;
+  append_prefix(out, kWireSchemaVersion);
+  out += "\"batch_begin\":{\"batch\":";
+  out += std::to_string(batch_id);
+  out += "}}";
+  return out;
+}
+
+std::string encode_batch_end(std::uint64_t batch_id) {
+  std::string out;
+  append_prefix(out, kWireSchemaVersion);
+  out += "\"batch_end\":{\"batch\":";
+  out += std::to_string(batch_id);
+  out += "}}";
+  return out;
+}
+
+ParentLine decode_parent_line(const std::string& line) {
+  Cursor c(line);
+  ParentLine parsed;
+  parsed.schema = consume_prefix(c);
+  if (c.try_lit("\"batch_begin\":{\"batch\":")) {
+    if (parsed.schema < 2) {
+      throw InvalidArgument("wire: batch framing requires schema 2");
+    }
+    parsed.kind = ParentLine::Kind::kBatchBegin;
+    parsed.batch_id = c.uint();
+    c.lit("}}");
+    c.end();
+    return parsed;
+  }
+  if (c.try_lit("\"batch_end\":{\"batch\":")) {
+    if (parsed.schema < 2) {
+      throw InvalidArgument("wire: batch framing requires schema 2");
+    }
+    parsed.kind = ParentLine::Kind::kBatchEnd;
+    parsed.batch_id = c.uint();
+    c.lit("}}");
+    c.end();
+    return parsed;
+  }
+  c.lit("\"job\":{\"index\":");
+  parsed.kind = ParentLine::Kind::kJob;
+  parsed.job = decode_job_body(c, parsed.schema);
+  return parsed;
+}
+
+std::string encode_wire_result(std::size_t index, const RunResult& result,
+                               int schema) {
+  check_schema_encodable(schema);
   std::string out;
   out.reserve(64 + result.outputs.size() * 4);
-  append_prefix(out);
+  append_prefix(out, schema);
   out += "\"result\":{\"index\":";
   out += std::to_string(index);
   out += ",\"rounds\":";
@@ -260,9 +437,11 @@ std::string encode_wire_result(std::size_t index, const RunResult& result) {
   return out;
 }
 
-std::string encode_wire_error(std::size_t index, const std::string& message) {
+std::string encode_wire_error(std::size_t index, const std::string& message,
+                              int schema) {
+  check_schema_encodable(schema);
   std::string out;
-  append_prefix(out);
+  append_prefix(out, schema);
   out += "\"error\":{\"index\":";
   out += std::to_string(index);
   out += ",\"message\":\"";
@@ -271,23 +450,38 @@ std::string encode_wire_error(std::size_t index, const std::string& message) {
   return out;
 }
 
-std::string encode_worker_summary(const WorkerSummary& summary) {
+std::string encode_worker_summary(const WorkerSummary& summary, int schema) {
+  check_schema_encodable(schema);
   std::string out;
-  append_prefix(out);
-  out += "\"worker_summary\":{\"jobs\":";
+  append_prefix(out, schema);
+  out += "\"worker_summary\":{";
+  if (schema >= 2) {
+    out += "\"batch\":";
+    out += std::to_string(summary.batch_id);
+    out += ',';
+  }
+  out += "\"jobs\":";
   out += std::to_string(summary.jobs);
   out += ",\"plans_compiled\":";
   out += std::to_string(summary.plans_compiled);
   out += ",\"plan_hits\":";
   out += std::to_string(summary.plan_hits);
+  if (schema >= 2) {
+    out += ",\"total_jobs\":";
+    out += std::to_string(summary.total_jobs);
+    out += ",\"total_compiled\":";
+    out += std::to_string(summary.total_compiled);
+    out += ",\"total_hits\":";
+    out += std::to_string(summary.total_hits);
+  }
   out += "}}";
   return out;
 }
 
 WorkerLine decode_worker_line(const std::string& line) {
   Cursor c(line);
-  consume_prefix(c);
   WorkerLine parsed;
+  parsed.schema = consume_prefix(c);
   if (c.try_lit("\"result\":{\"index\":")) {
     parsed.kind = WorkerLine::Kind::kResult;
     parsed.index = static_cast<std::size_t>(c.uint());
@@ -334,25 +528,70 @@ WorkerLine decode_worker_line(const std::string& line) {
     c.end();
     return parsed;
   }
-  c.lit("\"worker_summary\":{\"jobs\":");
+  c.lit("\"worker_summary\":{");
   parsed.kind = WorkerLine::Kind::kSummary;
+  if (parsed.schema >= 2) {
+    c.lit("\"batch\":");
+    parsed.summary.batch_id = c.uint();
+    c.lit(",");
+  }
+  c.lit("\"jobs\":");
   parsed.summary.jobs = c.uint();
   c.lit(",\"plans_compiled\":");
   parsed.summary.plans_compiled = c.uint();
   c.lit(",\"plan_hits\":");
   parsed.summary.plan_hits = c.uint();
+  if (parsed.schema >= 2) {
+    c.lit(",\"total_jobs\":");
+    parsed.summary.total_jobs = c.uint();
+    c.lit(",\"total_compiled\":");
+    parsed.summary.total_compiled = c.uint();
+    c.lit(",\"total_hits\":");
+    parsed.summary.total_hits = c.uint();
+  } else {
+    // A single-batch legacy worker's lifetime IS the batch: mirror the
+    // counters so consumers can read the cumulative fields uniformly.
+    parsed.summary.total_jobs = parsed.summary.jobs;
+    parsed.summary.total_compiled = parsed.summary.plans_compiled;
+    parsed.summary.total_hits = parsed.summary.plan_hits;
+  }
   c.lit("}}");
   c.end();
   return parsed;
 }
 
+namespace detail {
+
+// Writer-thread fast path shared with worker_pool.cpp: escape each
+// distinct graph once, then stamp job lines around the cached segment.
+void wire_escape(std::string& out, const std::string& text) {
+  append_escaped(out, text);
+}
+
+std::string encode_wire_job_preescaped(const WireJob& job,
+                                       const std::string& escaped_graph) {
+  return encode_job_line(job.index, job.algorithm, job.param, job.threads,
+                         job.max_rounds, job.async, escaped_graph,
+                         kWireSchemaVersion);
+}
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
-// The executor itself.
+// The executor itself: validation + stats surface over a WorkerPool.  The
+// process machinery (fork/exec, framing, reader/writer threads, teardown)
+// lives in worker_pool.cpp; unpooled mode simply runs each batch through
+// an ephemeral single-batch pool, so both modes share one code path.
 
 ProcessShardExecutor::ProcessShardExecutor(
     std::vector<std::string> worker_command, unsigned shards)
+    : ProcessShardExecutor(std::move(worker_command), shards, Options()) {}
+
+ProcessShardExecutor::ProcessShardExecutor(
+    std::vector<std::string> worker_command, unsigned shards, Options options)
     : worker_command_(std::move(worker_command)),
-      shards_(resolve_threads(shards)) {
+      shards_(resolve_threads(shards)),
+      options_(options) {
   if (worker_command_.empty()) {
     throw InvalidArgument(
         "ProcessShardExecutor: worker command must not be empty");
@@ -365,161 +604,37 @@ ProcessShardExecutor::ProcessShardExecutor(
 
 ProcessShardExecutor::~ProcessShardExecutor() = default;
 
-ProcessShardExecutor::Stats ProcessShardExecutor::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
-}
-
-#if defined(_WIN32)
-
-void ProcessShardExecutor::validate(const std::vector<BatchJob>&) const {
-  throw InvalidArgument(
-      "ProcessShardExecutor: process sharding requires a POSIX platform");
-}
-
-void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>&,
-                                         const ResultCallback&) const {
-  throw InvalidArgument(
-      "ProcessShardExecutor: process sharding requires a POSIX platform");
-}
-
-#else
-
 namespace {
 
-/// One forked worker and the parent-side bookkeeping for it.
-struct Worker {
-  pid_t pid = -1;
-  int in_fd = -1;   ///< parent writes job lines here (worker stdin)
-  int out_fd = -1;  ///< parent reads result lines here (worker stdout)
-  const std::vector<std::size_t>* assigned = nullptr;  ///< global indices
-  std::size_t completed = 0;   ///< result/error lines accepted so far
-  std::string violation;       ///< protocol-violation description, if any
-  int wait_status = 0;         ///< raw waitpid status
-  WorkerSummary summary;
-  bool summary_seen = false;
-  std::thread writer;
-  std::thread reader;
-};
-
-/// Runs a cleanup action when the scope unwinds, exception or not.
-template <typename Fn>
-class ScopeExit {
- public:
-  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
-  ~ScopeExit() { fn_(); }
-  ScopeExit(const ScopeExit&) = delete;
-  ScopeExit& operator=(const ScopeExit&) = delete;
-
- private:
-  Fn fn_;
-};
-
-void set_cloexec(int fd) {
-  const int flags = ::fcntl(fd, F_GETFD);
-  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
-}
-
-/// A blocked SIGPIPE turns a write to a dead worker into EPIPE instead of
-/// killing the parent; the pending signal dies with the writer thread.
-void block_sigpipe_on_this_thread() {
-  sigset_t set;
-  sigemptyset(&set);
-  sigaddset(&set, SIGPIPE);
-  pthread_sigmask(SIG_BLOCK, &set, nullptr);
-}
-
-[[nodiscard]] bool write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // EPIPE et al.: the reader reports the death
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-void spawn(Worker& w, const std::vector<std::string>& command) {
-  int to_child[2] = {-1, -1};
-  int from_child[2] = {-1, -1};
-  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
-    if (to_child[0] >= 0) {
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-    }
-    throw ExecutionError("ProcessShardExecutor: pipe() failed");
-  }
-  // Parent-side ends never leak into later workers' exec; the child's ends
-  // are re-homed onto fds 0/1 (dup2 clears FD_CLOEXEC on the duplicate).
-  for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
-    set_cloexec(fd);
-  }
-
-  std::vector<char*> argv;
-  argv.reserve(command.size() + 1);
-  for (const auto& arg : command) argv.push_back(const_cast<char*>(arg.c_str()));
-  argv.push_back(nullptr);
-
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
-      ::close(fd);
-    }
-    throw ExecutionError("ProcessShardExecutor: fork() failed");
-  }
-  if (pid == 0) {
-    // Child: wire stdin/stdout to the pipes and become the worker.
-    ::dup2(to_child[0], STDIN_FILENO);
-    ::dup2(from_child[1], STDOUT_FILENO);
-    ::execvp(argv[0], argv.data());
-    _exit(127);  // exec failed; the parent reports it via the exit status
-  }
-  ::close(to_child[0]);
-  ::close(from_child[1]);
-  w.pid = pid;
-  w.in_fd = to_child[1];
-  w.out_fd = from_child[0];
-}
-
-[[nodiscard]] std::string describe_exit(int status) {
-  if (WIFEXITED(status)) {
-    return "worker exited with status " + std::to_string(WEXITSTATUS(status));
-  }
-  if (WIFSIGNALED(status)) {
-    return "worker killed by signal " + std::to_string(WTERMSIG(status));
-  }
-  return "worker ended abnormally";
-}
-
-[[nodiscard]] bool exited_cleanly(int status) {
-  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
-}
-
-/// A shard that answered all its jobs can still have broken protocol
-/// afterwards — an extra line, a nonzero exit, a missing summary.  The
-/// delivered results are trustworthy (each was verified in arrival
-/// order), but the run must not report success: the summary counters are
-/// incomplete and the worker is not behaving as specified.  Returns the
-/// failure description, or "" for a fully clean shard.
-[[nodiscard]] std::string residual_failure(const Worker& w) {
-  if (w.completed < w.assigned->size()) return "";  // job-level errors cover it
-  if (!w.violation.empty()) {
-    return "process shard: " + w.violation + " after its last job";
-  }
-  if (!exited_cleanly(w.wait_status)) {
-    return "process shard: " + describe_exit(w.wait_status) +
-           " after completing its jobs";
-  }
-  if (!w.summary_seen) {
-    return "process shard: worker exited without a summary line";
-  }
-  return "";
+void accumulate(ProcessShardExecutor::Stats& into,
+                const ProcessShardExecutor::Stats& from) {
+  into.jobs_shipped += from.jobs_shipped;
+  into.batches_run += from.batches_run;
+  into.workers_spawned += from.workers_spawned;
+  into.workers_respawned += from.workers_respawned;
+  into.workers_reaped += from.workers_reaped;
+  into.plans_compiled += from.plans_compiled;
+  into.plan_hits += from.plan_hits;
 }
 
 }  // namespace
+
+ProcessShardExecutor::Stats ProcessShardExecutor::stats() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  Stats merged = retired_;
+  if (pool_) accumulate(merged, pool_->stats());
+  return merged;
+}
+
+std::size_t ProcessShardExecutor::live_workers() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_ ? pool_->live_workers() : 0;
+}
+
+void ProcessShardExecutor::drain() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_) pool_->drain();
+}
 
 void ProcessShardExecutor::validate(const std::vector<BatchJob>& jobs) const {
   Executor::validate(jobs);
@@ -534,185 +649,62 @@ void ProcessShardExecutor::validate(const std::vector<BatchJob>& jobs) const {
           "ProcessShardExecutor: trace/message collection does not cross "
           "the wire");
     }
-    if (job.options.exec.async.has_value()) {
+    if (job.options.exec.async.has_value() &&
+        !job.options.exec.async->schedule.empty()) {
       throw InvalidArgument(
-          "ProcessShardExecutor: the asynchronous execution model does not "
-          "cross the wire (schema 1 carries no AsyncOptions); run async "
-          "jobs on the in-process backend");
+          "ProcessShardExecutor: adversarial schedules do not cross the "
+          "wire; run scheduled jobs on the in-process backend");
     }
   }
 }
+
+#if defined(_WIN32)
+
+void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>&,
+                                         const ResultCallback&) const {
+  throw InvalidArgument(
+      "ProcessShardExecutor: process sharding requires a POSIX platform");
+}
+
+#else
 
 void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>& jobs,
                                          const ResultCallback& on_result) const {
   validate(jobs);
   if (jobs.empty()) return;
 
-  // Group-affinity routing: equal groups share a worker (and therefore a
-  // plan-cache entry); within a shard, jobs keep ascending index order.
-  std::vector<std::vector<std::size_t>> assigned(shards_);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    assigned[jobs[i].spec->group % shards_].push_back(i);
-  }
-
-  detail::ReorderBuffer buffer(jobs.size());
-  std::vector<std::unique_ptr<Worker>> workers;
-
-  {
-    // Tears every worker down at scope exit — even when a later spawn()
-    // or std::thread constructor throws mid-loop.  Order matters for the
-    // no-hang guarantee on the partial-start paths: a worker whose reader
-    // never started gets its stdout closed *first*, so a worker blocked
-    // writing results dies on EPIPE and can neither stall the writer join
-    // nor the final reap; then a never-started writer's stdin is closed
-    // (EOF tells an idle worker to exit).  On the normal path both
-    // threads exist and this is a plain join/join.
-    const ScopeExit join_workers([&workers] {
-      for (const auto& w : workers) {
-        if (!w->reader.joinable() && w->out_fd >= 0) {
-          ::close(w->out_fd);
-          w->out_fd = -1;
-        }
-        if (w->writer.joinable()) {
-          w->writer.join();
-        } else if (w->in_fd >= 0) {
-          ::close(w->in_fd);
-          w->in_fd = -1;
-        }
-        if (w->reader.joinable()) {
-          w->reader.join();  // closes out_fd and reaps the worker itself
-        } else if (w->pid >= 0) {
-          ::waitpid(w->pid, &w->wait_status, 0);
-        }
+  if (options_.pooled) {
+    WorkerPool* pool = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (!pool_) {
+        pool_ = std::make_unique<WorkerPool>(
+            worker_command_, shards_,
+            std::chrono::milliseconds(options_.idle_timeout_ms));
       }
-    });
-
-    for (const auto& shard_jobs : assigned) {
-      if (shard_jobs.empty()) continue;  // never fork an idle shard
-      auto w = std::make_unique<Worker>();
-      w->assigned = &shard_jobs;
-      workers.push_back(std::move(w));  // visible to join_workers pre-spawn
-      spawn(*workers.back(), worker_command_);
+      pool = pool_.get();
     }
-
-    for (const auto& w_ptr : workers) {
-      Worker* w = w_ptr.get();
-
-      w->writer = std::thread([w, &jobs] {
-        block_sigpipe_on_this_thread();
-        // Serialize-and-escape each distinct graph lazily, once, right
-        // here: group routing sends every repeat of a structure to one
-        // shard, so per-writer caching never duplicates work across
-        // shards — and it parallelizes the text encoding and frees it
-        // when this writer exits, instead of a serial up-front pass whose
-        // escaped copies would live until the whole batch drained.
-        std::unordered_map<const port::PortGraph*, std::string> escaped;
-        for (const std::size_t idx : *w->assigned) {
-          const auto& job = jobs[idx];
-          auto it = escaped.find(job.graph);
-          if (it == escaped.end()) {
-            const auto text = port::to_port_graph_string(*job.graph);
-            std::string esc;
-            esc.reserve(text.size() + text.size() / 16);
-            append_escaped(esc, text);
-            it = escaped.emplace(job.graph, std::move(esc)).first;
-          }
-          std::string line = encode_job_line(
-              idx, job.spec->algorithm, job.spec->param,
-              job.options.exec.threads, job.options.max_rounds, it->second);
-          line += '\n';
-          if (!write_all(w->in_fd, line)) break;
-        }
-        ::close(w->in_fd);  // stdin EOF tells the worker to summarize + exit
-        w->in_fd = -1;
-      });
-
-      w->reader = std::thread([w, &buffer, &on_result] {
-        std::string pending;
-        char chunk[1 << 16];
-        while (true) {
-          const ssize_t n = ::read(w->out_fd, chunk, sizeof chunk);
-          if (n < 0 && errno == EINTR) continue;
-          if (n <= 0) break;
-          pending.append(chunk, static_cast<std::size_t>(n));
-          std::size_t nl;
-          while ((nl = pending.find('\n')) != std::string::npos) {
-            const std::string line = pending.substr(0, nl);
-            pending.erase(0, nl + 1);
-            // A poisoned worker is only drained (never block it on a full
-            // stdout pipe) — its unfinished jobs fail at EOF.
-            if (!w->violation.empty()) continue;
-            try {
-              WorkerLine parsed = decode_worker_line(line);
-              if (parsed.kind == WorkerLine::Kind::kSummary) {
-                w->summary = parsed.summary;
-                w->summary_seen = true;
-                continue;
-              }
-              // Workers execute their jobs strictly in arrival order; any
-              // other index is a protocol violation.
-              if (w->completed >= w->assigned->size() ||
-                  parsed.index != (*w->assigned)[w->completed]) {
-                w->violation = "worker answered for an unexpected job index";
-                continue;
-              }
-              const std::size_t idx = parsed.index;
-              if (parsed.kind == WorkerLine::Kind::kResult) {
-                buffer.results[idx] = std::move(parsed.result);
-              } else {
-                buffer.errors[idx] = std::make_exception_ptr(
-                    ExecutionError("process shard: " + parsed.message));
-              }
-              ++w->completed;
-              buffer.deposit_and_flush(idx, on_result);
-            } catch (const Error& e) {
-              w->violation = std::string("malformed worker line: ") + e.what();
-            }
-          }
-        }
-        ::close(w->out_fd);
-        w->out_fd = -1;
-        ::waitpid(w->pid, &w->wait_status, 0);
-
-        // The prefix rule on worker death: every job this shard never
-        // finished fails with a description of why the worker stopped.
-        if (w->completed < w->assigned->size()) {
-          std::string why = describe_exit(w->wait_status);
-          if (!w->violation.empty()) why += " (" + w->violation + ")";
-          for (std::size_t k = w->completed; k < w->assigned->size(); ++k) {
-            const std::size_t idx = (*w->assigned)[k];
-            buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
-                "process shard: " + why + " before job " +
-                std::to_string(idx) + " completed"));
-            buffer.deposit_and_flush(idx, on_result);
-          }
-        }
-      });
-    }
-  }  // join_workers: every thread joined, every worker reaped
-
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.jobs_shipped += jobs.size();
-    stats_.workers_spawned += workers.size();
-    for (const auto& w : workers) {
-      if (w->summary_seen) {
-        stats_.plans_compiled += w->summary.plans_compiled;
-        stats_.plan_hits += w->summary.plan_hits;
-      }
-    }
+    // The pool serializes batches internally; holding pool_mutex_ across
+    // the batch would deadlock stats() calls made from the callback.
+    pool->run_batch(jobs, on_result);
+    return;
   }
 
-  // Job-level failures win (lowest index, as documented); a shard that
-  // finished its jobs but then broke protocol or died still fails the
-  // batch — after full delivery, so the prefix rule is unaffected.
-  buffer.rethrow_failures();
-  for (const auto& w : workers) {
-    const auto residual = residual_failure(*w);
-    if (!residual.empty()) throw ExecutionError(residual);
+  // Unpooled: the pre-pool behaviour — a fresh fleet per batch, drained
+  // before returning.  Counters merge into retired_ even when the batch
+  // throws (jobs were shipped and workers forked either way).
+  WorkerPool ephemeral(worker_command_, shards_, std::chrono::milliseconds(0));
+  try {
+    ephemeral.run_batch(jobs, on_result);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    accumulate(retired_, ephemeral.stats());
+    throw;
   }
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  accumulate(retired_, ephemeral.stats());
 }
 
-#endif  // !defined(_WIN32)
+#endif  // defined(_WIN32)
 
 }  // namespace eds::runtime

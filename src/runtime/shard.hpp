@@ -1,60 +1,91 @@
 // ProcessShardExecutor: batch execution sharded across worker subprocesses.
 //
 // A thread pool stops scaling at one machine's cores and shares one address
-// space; process shards are the next rung.  This backend forks N copies of
-// a worker command (normally `edsim worker`), streams each job to its shard
-// as one NDJSON line on stdin, and reads one NDJSON result line per job
-// from its stdout.  The Executor contract is preserved exactly:
+// space; process shards are the next rung.  This backend streams each job to
+// a worker process (normally `edsim worker`) as one NDJSON line on stdin and
+// reads one NDJSON result line per job from its stdout.  Since schema 2 the
+// workers are *pooled*: a runtime::WorkerPool (worker_pool.hpp) keeps the
+// fleet alive across batches, so repeated sweeps pay fork/exec and
+// plan-cache warmup once instead of per batch.  The Executor contract is
+// preserved exactly:
 //
 //  * Deterministic job-order merge — every result line carries its job
 //    index and lands in the shared reorder buffer, so delivery is the
 //    strictly increasing prefix regardless of shard scheduling.
 //  * Prefix rule on worker death — if a shard exits (or breaks protocol)
-//    before finishing its jobs, every unfinished job of that shard fails
-//    with an ExecutionError naming the exit status; results before the
-//    lowest failure are delivered, nothing at or after it, and the
+//    before finishing its batch jobs, every unfinished job of that shard
+//    fails with an ExecutionError naming the exit status; results before
+//    the lowest failure are delivered, nothing at or after it, and the
 //    remaining shards drain before the failure is rethrown.  A shard that
-//    answers all its jobs but *then* deviates — extra output, a nonzero
-//    exit, a missing summary — fails the batch too (after full delivery):
-//    its results are verified, but its counters are incomplete and the
-//    worker is out of spec, so success must not be reported.
+//    answers all its jobs but *then* deviates — extra output, an early
+//    exit, a missing summary — fails the batch too (after full delivery).
+//    The *next* batch through the pool transparently respawns the dead
+//    slot (counted in stats().workers_respawned).
 //  * Per-shard plan caches — each worker keeps its own PlanCache and
-//    reports compiled/hit counters in a trailing summary line; jobs are
+//    reports compiled/hit counters in a per-batch summary line; jobs are
 //    routed by JobSpec::group (the graph's structural hash), so one
 //    structure is compiled by exactly one worker and the aggregated
 //    counters match a single-process sweep (absent cache eviction).
+//    Because the cache outlives the batch, a warm pool turns repeated
+//    structures into hits across batches, not just within one.
 //
-// The wire format (`schema` 1) is NDJSON with a fixed field order — a
-// private protocol between same-version binaries, versioned so a future
-// schema can be rejected loudly instead of misparsed:
+// The wire format (`schema` 2) is NDJSON with a fixed field order — a
+// private protocol between same-version binaries, versioned so a foreign
+// schema is rejected loudly instead of misparsed.  Batches are framed
+// explicitly so one worker process can serve many batches:
 //
-//   parent -> worker:  {"schema":1,"job":{"index":I,"algorithm":"T",
-//                       "param":P,"threads":N,"max_rounds":R,"graph":"…"}}
-//   worker -> parent:  {"schema":1,"result":{"index":I,"rounds":R,
+//   parent -> worker:  {"schema":2,"batch_begin":{"batch":B}}
+//                      {"schema":2,"job":{"index":I,"algorithm":"T",
+//                       "param":P,"threads":N,"max_rounds":R,
+//                       ["async":{…},]"graph":"…"}}
+//                      {"schema":2,"batch_end":{"batch":B}}
+//   worker -> parent:  {"schema":2,"result":{"index":I,"rounds":R,
 //                       "messages":M,"ports_served":S,"outputs":[[…],…]}}
-//                      {"schema":1,"error":{"index":I,"message":"…"}}
-//                      {"schema":1,"worker_summary":{"jobs":J,
-//                       "plans_compiled":C,"plan_hits":H}}
+//                      {"schema":2,"error":{"index":I,"message":"…"}}
+//                      {"schema":2,"worker_summary":{"batch":B,"jobs":J,
+//                       "plans_compiled":C,"plan_hits":H,"total_jobs":TJ,
+//                       "total_compiled":TC,"total_hits":TH}}
+//
+// The optional `async` object serializes AsyncOptions (canonical delay
+// spec, seed, loss/duplication probabilities at max_digits10 so they
+// round-trip bit-exactly, round timeout, scripted crashes), which is what
+// lets `--model async` jobs cross the wire.  Adversarial Schedules do NOT
+// cross: they are an in-process search artifact (validate rejects them).
 //
 // Workers process jobs sequentially in arrival order and flush after every
-// line, so the parent can interleave writing and reading without deadlock;
-// a worker emits its summary on stdin EOF and exits 0.
+// line, so the parent can interleave writing and reading without deadlock.
+// A schema-2 worker answers `batch_end` with one `worker_summary` carrying
+// per-batch AND cumulative cache counters, then waits for the next
+// `batch_begin`; stdin EOF ends the process cleanly (exit 0).  For
+// back-compat a worker whose *first* stdin line is a schema-1 job line
+// runs the legacy single-batch protocol: jobs until EOF, then one
+// schema-1 summary ({"jobs":J,"plans_compiled":C,"plan_hits":H}).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/batch.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fault.hpp"
 
 namespace eds::runtime {
 
+class WorkerPool;
+
 /// The NDJSON protocol version spoken by ProcessShardExecutor and
 /// `edsim worker` (and stamped on `edsim sweep --ndjson` output).
-inline constexpr int kWireSchemaVersion = 1;
+inline constexpr int kWireSchemaVersion = 2;
+
+/// The oldest schema `edsim worker` still accepts (single-batch, no
+/// framing, no async payload).  Anything outside [legacy, current] is
+/// rejected loudly.
+inline constexpr int kLegacyWireSchemaVersion = 1;
 
 /// One job as it crosses the process boundary.
 struct WireJob {
@@ -63,79 +94,148 @@ struct WireJob {
   Port param = 0;            ///< resolved factory parameter
   unsigned threads = 1;      ///< ExecOptions::threads inside the worker
   Round max_rounds = 0;      ///< RunOptions::max_rounds
+  /// Asynchronous execution model, if any (schema >= 2 only).  The
+  /// embedded Schedule must be empty: adversarial schedules never cross.
+  std::optional<AsyncOptions> async;
   std::string graph_text;    ///< port::write_port_graph text form
 };
 
-/// Worker-side counters reported in the trailing summary line.
+/// Worker-side counters reported in the summary line that ends a batch.
+/// Schema-1 workers report the three legacy fields once, at EOF; schema-2
+/// workers add the batch id and cumulative process-lifetime totals, which
+/// is how a warm pool proves its caches stayed hot across batches.
 struct WorkerSummary {
-  std::uint64_t jobs = 0;            ///< result/error lines emitted
-  std::uint64_t plans_compiled = 0;  ///< worker PlanCache misses
-  std::uint64_t plan_hits = 0;       ///< worker PlanCache hits
+  std::uint64_t batch_id = 0;        ///< echoed batch id (schema >= 2)
+  std::uint64_t jobs = 0;            ///< result/error lines in this batch
+  std::uint64_t plans_compiled = 0;  ///< PlanCache misses in this batch
+  std::uint64_t plan_hits = 0;       ///< PlanCache hits in this batch
+  std::uint64_t total_jobs = 0;      ///< jobs over the worker's lifetime
+  std::uint64_t total_compiled = 0;  ///< lifetime PlanCache misses
+  std::uint64_t total_hits = 0;      ///< lifetime PlanCache hits
 };
 
 /// One parsed line of worker output.
 struct WorkerLine {
   enum class Kind { kResult, kError, kSummary };
   Kind kind = Kind::kResult;
+  int schema = kWireSchemaVersion;  ///< version the worker spoke
   std::size_t index = 0;   ///< kResult / kError
   RunResult result;        ///< kResult (outputs + stats; no trace/log)
   std::string message;     ///< kError
   WorkerSummary summary;   ///< kSummary
 };
 
+/// One parsed line of parent input, as seen by the worker main loop.
+struct ParentLine {
+  enum class Kind { kJob, kBatchBegin, kBatchEnd };
+  Kind kind = Kind::kJob;
+  int schema = kWireSchemaVersion;  ///< version the parent spoke
+  WireJob job;                      ///< kJob
+  std::uint64_t batch_id = 0;       ///< kBatchBegin / kBatchEnd
+};
+
 /// Wire codecs.  Encoders emit exactly one line (no trailing newline);
 /// decoders are strict — any deviation from the fixed shape, including an
-/// unknown schema version, throws InvalidArgument.
-[[nodiscard]] std::string encode_wire_job(const WireJob& job);
+/// unknown schema version, throws InvalidArgument.  Worker-side encoders
+/// take the schema to speak (a legacy-mode worker answers in schema 1).
+[[nodiscard]] std::string encode_wire_job(const WireJob& job,
+                                          int schema = kWireSchemaVersion);
 [[nodiscard]] WireJob decode_wire_job(const std::string& line);
+[[nodiscard]] std::string encode_batch_begin(std::uint64_t batch_id);
+[[nodiscard]] std::string encode_batch_end(std::uint64_t batch_id);
+[[nodiscard]] ParentLine decode_parent_line(const std::string& line);
 [[nodiscard]] std::string encode_wire_result(std::size_t index,
-                                             const RunResult& result);
+                                             const RunResult& result,
+                                             int schema = kWireSchemaVersion);
 [[nodiscard]] std::string encode_wire_error(std::size_t index,
-                                            const std::string& message);
-[[nodiscard]] std::string encode_worker_summary(const WorkerSummary& summary);
+                                            const std::string& message,
+                                            int schema = kWireSchemaVersion);
+[[nodiscard]] std::string encode_worker_summary(const WorkerSummary& summary,
+                                                int schema = kWireSchemaVersion);
 [[nodiscard]] WorkerLine decode_worker_line(const std::string& line);
+
+namespace detail {
+/// Writer-thread fast path (worker_pool.cpp): escape each distinct graph
+/// text once, then stamp job lines around the cached segment instead of
+/// re-scanning the (potentially large) text per repeat.
+void wire_escape(std::string& out, const std::string& text);
+[[nodiscard]] std::string encode_wire_job_preescaped(
+    const WireJob& job, const std::string& escaped_graph);
+}  // namespace detail
 
 /// The process-sharding backend.  POSIX-only: constructing one on a
 /// platform without fork/pipe throws InvalidArgument.
 class ProcessShardExecutor final : public Executor {
  public:
   /// Aggregate counters across every run_streaming call (monotonic).
-  /// plans_compiled/plan_hits sum the worker summaries, so a sweep can
-  /// report cache effectiveness exactly as an in-process run would.
+  /// plans_compiled/plan_hits sum the per-batch worker summaries, so a
+  /// sweep can report cache effectiveness exactly as an in-process run
+  /// would; workers_spawned counts every fork (a respawn increments both
+  /// it and workers_respawned), so a warm second batch shows a spawn
+  /// delta of zero.
   struct Stats {
     std::uint64_t jobs_shipped = 0;
+    std::uint64_t batches_run = 0;
     std::uint64_t workers_spawned = 0;
+    std::uint64_t workers_respawned = 0;  ///< replacements for dead workers
+    std::uint64_t workers_reaped = 0;     ///< idle-timeout retirements
     std::uint64_t plans_compiled = 0;
     std::uint64_t plan_hits = 0;
+  };
+
+  /// Pool behaviour knobs (see WorkerPool for the lifecycle details).
+  struct Options {
+    /// Keep workers alive between run_streaming calls (the default).
+    /// When false every batch forks a fresh fleet and drains it before
+    /// returning — the pre-pool behaviour, kept as the `--no-pool`
+    /// escape hatch and as the differential baseline for tests.
+    bool pooled = true;
+    /// A warm worker untouched for this long is retired at the start of
+    /// the next batch (0 = never).  Pooled mode only.
+    std::uint64_t idle_timeout_ms = 5 * 60 * 1000;
   };
 
   /// `worker_command` is the argv of one shard process (e.g.
   /// {"/path/to/edsim", "worker"}); it must speak the wire protocol above.
   /// `shards` as in ExecOptions::threads: 0 = one shard per hardware
-  /// thread.  Workers are spawned per batch — a shard with no jobs routed
-  /// to it is never forked — so an idle executor holds no processes.
+  /// thread.  Workers are spawned lazily — a shard no batch has routed a
+  /// job to is never forked — so an idle executor holds no processes.
   explicit ProcessShardExecutor(std::vector<std::string> worker_command,
                                 unsigned shards = 0);
+  ProcessShardExecutor(std::vector<std::string> worker_command,
+                       unsigned shards, Options options);
   ~ProcessShardExecutor() override;
 
   /// Every job must carry a JobSpec and must not request trace or message
-  /// collection (those RunResult fields do not cross the wire).
+  /// collection (those RunResult fields do not cross the wire).  Async
+  /// jobs cross since schema 2, but their Schedule must be empty.
   void validate(const std::vector<BatchJob>& jobs) const override;
 
   /// Throws InvalidArgument (via validate) before anything is spawned.
+  /// Batches are serialized: concurrent callers queue on the pool.
   void run_streaming(const std::vector<BatchJob>& jobs,
                      const ResultCallback& on_result) const override;
 
   /// Shard count after resolving 0 to the hardware thread count.
   [[nodiscard]] unsigned shards() const noexcept { return shards_; }
 
+  /// Worker processes currently alive and warm (0 before the first batch,
+  /// after an idle reap, or always in unpooled mode).
+  [[nodiscard]] std::size_t live_workers() const;
+
+  /// Retires pooled workers now (clean EOF + reap); the next batch
+  /// respawns lazily.  No-op in unpooled mode.
+  void drain() const;
+
   [[nodiscard]] Stats stats() const;
 
  private:
   std::vector<std::string> worker_command_;
   unsigned shards_;
-  mutable std::mutex stats_mutex_;
-  mutable Stats stats_;
+  Options options_;
+  mutable std::mutex pool_mutex_;        ///< guards pool_ and retired_
+  mutable std::unique_ptr<WorkerPool> pool_;  ///< live fleet (pooled mode)
+  mutable Stats retired_;  ///< counters from already-drained pools
 };
 
 }  // namespace eds::runtime

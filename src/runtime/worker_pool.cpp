@@ -1,0 +1,521 @@
+#include "runtime/worker_pool.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+#if defined(_WIN32)
+
+namespace eds::runtime {
+
+WorkerPool::WorkerPool(std::vector<std::string>, unsigned,
+                       std::chrono::milliseconds) {
+  throw InvalidArgument(
+      "WorkerPool: process sharding requires a POSIX platform");
+}
+
+WorkerPool::~WorkerPool() = default;
+
+void WorkerPool::run_batch(const std::vector<BatchJob>&,
+                           const Executor::ResultCallback&) {
+  throw InvalidArgument(
+      "WorkerPool: process sharding requires a POSIX platform");
+}
+
+void WorkerPool::reap_idle() {}
+void WorkerPool::drain() {}
+std::size_t WorkerPool::live_workers() const { return 0; }
+WorkerPool::Stats WorkerPool::stats() const { return {}; }
+
+}  // namespace eds::runtime
+
+#else  // POSIX
+
+#include <cerrno>
+#include <thread>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "port/io.hpp"
+#include "runtime/reorder.hpp"
+
+namespace eds::runtime {
+
+namespace {
+
+/// Runs a cleanup action when the scope unwinds, exception or not.
+template <typename Fn>
+class ScopeExit {
+ public:
+  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
+  ~ScopeExit() { fn_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  Fn fn_;
+};
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// A blocked SIGPIPE turns a write to a dead worker into EPIPE instead of
+/// killing the parent; the pending signal dies with the writer thread.
+void block_sigpipe_on_this_thread() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+[[nodiscard]] bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE et al.: the reader reports the death
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+[[nodiscard]] std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "worker exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "worker killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "worker ended abnormally";
+}
+
+[[nodiscard]] bool exited_cleanly(int status) {
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+}  // namespace
+
+/// Parent-side bookkeeping for one slot's service of one batch.  The
+/// process itself (pid + pipes) lives in the Slot and survives the batch;
+/// this is only the per-checkout state.
+struct WorkerPool::BatchTask {
+  Slot* slot = nullptr;
+  const std::vector<std::size_t>* assigned = nullptr;  ///< global indices
+  std::size_t completed = 0;   ///< result/error lines accepted so far
+  std::string violation;       ///< protocol-violation description, if any
+  bool dead = false;           ///< EOF observed (worker exited in service)
+  int wait_status = 0;         ///< raw waitpid status (valid when dead)
+  WorkerSummary summary;
+  bool summary_seen = false;
+  std::thread writer;
+  std::thread reader;
+
+  /// A shard that answered all its batch jobs can still have broken
+  /// protocol afterwards — extra output, an unexpected exit, a missing
+  /// summary.  The delivered results are trustworthy (each was verified
+  /// in arrival order), but the batch must not report success: the
+  /// summary counters are incomplete and the worker is not behaving as
+  /// specified.  Returns the failure description, or "" for a fully
+  /// clean shard.
+  [[nodiscard]] std::string residual_failure() const {
+    if (completed < assigned->size()) return "";  // job errors cover it
+    if (!violation.empty()) {
+      return "process shard: " + violation + " after its last job";
+    }
+    if (dead) {
+      if (!exited_cleanly(wait_status)) {
+        return "process shard: " + describe_exit(wait_status) +
+               " after completing its jobs";
+      }
+      return "process shard: worker exited without a batch summary";
+    }
+    if (!summary_seen) {
+      return "process shard: worker went silent without a batch summary";
+    }
+    return "";
+  }
+};
+
+WorkerPool::WorkerPool(std::vector<std::string> worker_command,
+                       unsigned shards, std::chrono::milliseconds idle_timeout)
+    : worker_command_(std::move(worker_command)),
+      shards_(resolve_threads(shards)),
+      idle_timeout_(idle_timeout),
+      slots_(shards_) {
+  if (worker_command_.empty()) {
+    throw InvalidArgument("WorkerPool: worker command must not be empty");
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+  for (auto& slot : slots_) {
+    if (slot.pid >= 0) retire_locked(slot, /*count_reaped=*/false);
+  }
+}
+
+void WorkerPool::retire_locked(Slot& slot, bool count_reaped) {
+  // Clean shutdown with the PR-4 no-hang ordering: stdin EOF first (an
+  // idle worker exits 0 on it), then stdout — a worker somehow blocked
+  // writing results dies on EPIPE instead of stalling the reap — then a
+  // blocking reap so no zombie outlives the pool.
+  if (slot.in_fd >= 0) {
+    ::close(slot.in_fd);
+    slot.in_fd = -1;
+  }
+  if (slot.out_fd >= 0) {
+    ::close(slot.out_fd);
+    slot.out_fd = -1;
+  }
+  if (slot.pid >= 0) {
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(slot.pid), &status, 0);
+    slot.pid = -1;
+  }
+  slot.died_dirty = false;  // a deliberate retirement is not a death
+  if (count_reaped) {
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.workers_reaped;
+  }
+}
+
+void WorkerPool::reap_idle_locked(std::chrono::steady_clock::time_point now) {
+  if (idle_timeout_.count() == 0) return;
+  for (auto& slot : slots_) {
+    if (slot.pid >= 0 && now - slot.last_used >= idle_timeout_) {
+      retire_locked(slot, /*count_reaped=*/true);
+    }
+  }
+}
+
+void WorkerPool::reap_idle() {
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+  reap_idle_locked(std::chrono::steady_clock::now());
+}
+
+void WorkerPool::drain() {
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+  for (auto& slot : slots_) {
+    if (slot.pid >= 0) retire_locked(slot, /*count_reaped=*/true);
+  }
+}
+
+std::size_t WorkerPool::live_workers() const {
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+  std::size_t live = 0;
+  for (const auto& slot : slots_) {
+    if (slot.pid >= 0) ++live;
+  }
+  return live;
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void WorkerPool::ensure_worker_locked(Slot& slot) {
+  // Health check: a worker that died while idle (crash, OOM kill, …) is
+  // detected here, before any frame is written, and replaced silently.
+  if (slot.pid >= 0) {
+    int status = 0;
+    const pid_t reaped =
+        ::waitpid(static_cast<pid_t>(slot.pid), &status, WNOHANG);
+    if (reaped != 0) {
+      if (slot.in_fd >= 0) ::close(slot.in_fd);
+      if (slot.out_fd >= 0) ::close(slot.out_fd);
+      slot.in_fd = slot.out_fd = -1;
+      slot.pid = -1;
+      slot.died_dirty = true;
+    }
+  }
+  if (slot.pid >= 0) return;
+
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    if (to_child[0] >= 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+    }
+    throw ExecutionError("WorkerPool: pipe() failed");
+  }
+  // Parent-side ends never leak into later workers' exec; the child's ends
+  // are re-homed onto fds 0/1 (dup2 clears FD_CLOEXEC on the duplicate).
+  for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+    set_cloexec(fd);
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(worker_command_.size() + 1);
+  for (const auto& arg : worker_command_) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    throw ExecutionError("WorkerPool: fork() failed");
+  }
+  if (pid == 0) {
+    // Child: wire stdin/stdout to the pipes and become the worker.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::execvp(argv[0], argv.data());
+    _exit(127);  // exec failed; the parent reports it via the exit status
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  slot.pid = pid;
+  slot.in_fd = to_child[1];
+  slot.out_fd = from_child[0];
+  slot.last_used = std::chrono::steady_clock::now();
+
+  {
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.workers_spawned;
+    if (slot.died_dirty) ++stats_.workers_respawned;
+  }
+  slot.died_dirty = false;
+}
+
+void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
+                           const Executor::ResultCallback& on_result) {
+  if (jobs.empty()) return;
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+
+  const std::uint64_t batch_id = ++next_batch_id_;
+  const auto now = std::chrono::steady_clock::now();
+  reap_idle_locked(now);
+
+  // Group-affinity routing: equal groups share a worker (and therefore a
+  // plan-cache entry); within a shard, jobs keep ascending index order.
+  std::vector<std::vector<std::size_t>> assigned(shards_);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    assigned[jobs[i].spec->group % shards_].push_back(i);
+  }
+
+  detail::ReorderBuffer buffer(jobs.size());
+  std::vector<std::unique_ptr<BatchTask>> tasks;
+
+  {
+    // Returns every checked-out worker at scope exit — even when a later
+    // spawn or std::thread constructor throws mid-loop.  Order matters on
+    // the partial-start paths: a task whose reader never started gets its
+    // worker's stdout closed *first*, so a worker blocked writing results
+    // dies on SIGPIPE and can neither stall the writer join nor the final
+    // reap; a worker touched by such a path is retired as dead (the next
+    // batch respawns the slot).  On the normal path both threads exist
+    // and this is a plain join/join; healthy workers stay warm.
+    const ScopeExit return_workers([&tasks] {
+      for (const auto& t : tasks) {
+        Slot* slot = t->slot;
+        const bool reader_started = t->reader.joinable();
+        if (!reader_started && slot->out_fd >= 0) {
+          ::close(slot->out_fd);
+          slot->out_fd = -1;
+        }
+        if (t->writer.joinable()) t->writer.join();
+        if (reader_started) t->reader.join();
+        if (t->dead || !reader_started) {
+          // The reader already reaped a dead worker; a never-read worker
+          // is reaped here.  Either way the slot is empty and dirty.
+          if (slot->in_fd >= 0) {
+            ::close(slot->in_fd);
+            slot->in_fd = -1;
+          }
+          if (slot->out_fd >= 0) {
+            ::close(slot->out_fd);
+            slot->out_fd = -1;
+          }
+          if (slot->pid >= 0) {
+            if (!t->dead) {
+              int status = 0;
+              ::waitpid(static_cast<pid_t>(slot->pid), &status, 0);
+            }
+            slot->pid = -1;
+          }
+          slot->died_dirty = true;
+        } else {
+          slot->last_used = std::chrono::steady_clock::now();
+        }
+      }
+    });
+
+    for (unsigned s = 0; s < shards_; ++s) {
+      if (assigned[s].empty()) continue;  // never fork an idle shard
+      ensure_worker_locked(slots_[s]);
+      auto t = std::make_unique<BatchTask>();
+      t->slot = &slots_[s];
+      t->assigned = &assigned[s];
+      tasks.push_back(std::move(t));  // visible to return_workers pre-start
+    }
+
+    for (const auto& t_ptr : tasks) {
+      BatchTask* t = t_ptr.get();
+
+      t->writer = std::thread([t, &jobs, batch_id] {
+        block_sigpipe_on_this_thread();
+        const int fd = t->slot->in_fd;
+        if (!write_all(fd, encode_batch_begin(batch_id) + "\n")) return;
+        // Serialize-and-escape each distinct graph lazily, once, right
+        // here: group routing sends every repeat of a structure to one
+        // shard, so per-writer caching never duplicates work across
+        // shards — and it parallelizes the text encoding and frees it
+        // when this writer exits, instead of a serial up-front pass whose
+        // escaped copies would live until the whole batch drained.
+        std::unordered_map<const port::PortGraph*, std::string> escaped;
+        for (const std::size_t idx : *t->assigned) {
+          const auto& job = jobs[idx];
+          auto it = escaped.find(job.graph);
+          if (it == escaped.end()) {
+            const auto text = port::to_port_graph_string(*job.graph);
+            std::string esc;
+            esc.reserve(text.size() + text.size() / 16);
+            detail::wire_escape(esc, text);
+            it = escaped.emplace(job.graph, std::move(esc)).first;
+          }
+          WireJob wire;
+          wire.index = idx;
+          wire.algorithm = job.spec->algorithm;
+          wire.param = job.spec->param;
+          wire.threads = job.options.exec.threads;
+          wire.max_rounds = job.options.max_rounds;
+          wire.async = job.options.exec.async;
+          std::string line =
+              detail::encode_wire_job_preescaped(wire, it->second);
+          line += '\n';
+          if (!write_all(fd, line)) return;
+        }
+        // The frame stays open: no stdin close.  The worker answers the
+        // batch_end with its summary and waits for the next batch.
+        (void)write_all(fd, encode_batch_end(batch_id) + "\n");
+      });
+
+      t->reader = std::thread([t, &buffer, &on_result, batch_id] {
+        const int fd = t->slot->out_fd;
+        const auto violate = [t](std::string why) {
+          t->violation = std::move(why);
+          // A live worker that broke protocol will never send the summary
+          // this reader is waiting for — kill it and drain to EOF (never
+          // block it on a full stdout pipe); its unfinished jobs fail at
+          // EOF and the next batch respawns the slot.
+          ::kill(static_cast<pid_t>(t->slot->pid), SIGKILL);
+        };
+        std::string pending;
+        char chunk[1 << 16];
+        bool at_eof = false;
+        while (!t->summary_seen && !at_eof) {
+          const ssize_t n = ::read(fd, chunk, sizeof chunk);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) {
+            at_eof = true;
+            break;
+          }
+          pending.append(chunk, static_cast<std::size_t>(n));
+          std::size_t nl;
+          while ((nl = pending.find('\n')) != std::string::npos) {
+            const std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            if (!t->violation.empty()) continue;  // draining to EOF
+            try {
+              WorkerLine parsed = decode_worker_line(line);
+              if (parsed.kind == WorkerLine::Kind::kSummary) {
+                if (parsed.summary.batch_id != batch_id) {
+                  violate("worker summarized the wrong batch");
+                  continue;
+                }
+                if (t->completed < t->assigned->size()) {
+                  violate("worker summarized before answering its jobs");
+                  continue;
+                }
+                if (!pending.empty()) {
+                  violate("worker wrote past its batch summary");
+                  continue;
+                }
+                t->summary = parsed.summary;
+                t->summary_seen = true;
+                break;  // batch served; the worker stays warm
+              }
+              // Workers execute their jobs strictly in arrival order; any
+              // other index is a protocol violation.
+              if (t->completed >= t->assigned->size() ||
+                  parsed.index != (*t->assigned)[t->completed]) {
+                violate("worker answered for an unexpected job index");
+                continue;
+              }
+              const std::size_t idx = parsed.index;
+              if (parsed.kind == WorkerLine::Kind::kResult) {
+                buffer.results[idx] = std::move(parsed.result);
+              } else {
+                buffer.errors[idx] = std::make_exception_ptr(
+                    ExecutionError("process shard: " + parsed.message));
+              }
+              ++t->completed;
+              buffer.deposit_and_flush(idx, on_result);
+            } catch (const Error& e) {
+              violate(std::string("malformed worker line: ") + e.what());
+            }
+          }
+        }
+        if (!at_eof) return;  // healthy: summary received, worker warm
+
+        // EOF: the worker is gone (its own death, or our SIGKILL after a
+        // violation).  Reap it and apply the prefix rule: every job this
+        // shard never finished fails with a description of why.
+        t->dead = true;
+        ::waitpid(static_cast<pid_t>(t->slot->pid), &t->wait_status, 0);
+        if (t->completed < t->assigned->size()) {
+          std::string why = describe_exit(t->wait_status);
+          if (!t->violation.empty()) why += " (" + t->violation + ")";
+          for (std::size_t k = t->completed; k < t->assigned->size(); ++k) {
+            const std::size_t idx = (*t->assigned)[k];
+            buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
+                "process shard: " + why + " before job " +
+                std::to_string(idx) + " completed"));
+            buffer.deposit_and_flush(idx, on_result);
+          }
+        }
+      });
+    }
+  }  // return_workers: every thread joined, every dead worker reaped
+
+  {
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.jobs_shipped += jobs.size();
+    ++stats_.batches_run;
+    for (const auto& t : tasks) {
+      if (t->summary_seen) {
+        stats_.plans_compiled += t->summary.plans_compiled;
+        stats_.plan_hits += t->summary.plan_hits;
+      }
+    }
+  }
+
+  // Job-level failures win (lowest index, as documented); a shard that
+  // finished its jobs but then broke protocol or died still fails the
+  // batch — after full delivery, so the prefix rule is unaffected.
+  buffer.rethrow_failures();
+  for (const auto& t : tasks) {
+    const auto residual = t->residual_failure();
+    if (!residual.empty()) throw ExecutionError(residual);
+  }
+}
+
+}  // namespace eds::runtime
+
+#endif  // defined(_WIN32)

@@ -1,0 +1,122 @@
+// WorkerPool: a long-lived fleet of `edsim worker` processes.
+//
+// PR 4's process backend forked a fresh fleet per batch and tore it down
+// when the batch drained — correct, but every `sweep --shards N` paid
+// fork/exec, allocator warmup and plan-cache compilation from zero.  The
+// pool keeps the fleet alive between batches instead: ProcessShardExecutor
+// checks workers out per batch over the schema-2 framed wire (shard.hpp)
+// and returns them warm, so a worker's PlanCache and engine workspaces
+// survive across batches and repeated structures become cache hits after
+// the first batch that carried them.
+//
+// Lifecycle, per slot (one slot per shard):
+//
+//     empty --spawn (first batch that routes a job here)--> warm
+//     warm  --batch checkout--> serving --summary--> warm
+//     serving --EOF / protocol violation--> dead   (batch fails by the
+//                                                   prefix rule; the NEXT
+//                                                   batch respawns: counted
+//                                                   in workers_respawned)
+//     warm  --idle past the timeout / drain()--> empty  (clean EOF + reap,
+//                                                   counted in
+//                                                   workers_reaped)
+//
+// Health is checked at every checkout (waitpid WNOHANG): a worker that
+// died while idle is respawned transparently before any job is written.
+// Destruction drains every live worker with the PR-4 teardown guarantees —
+// stdin closed first (EOF ends an idle worker), stdout closed (a worker
+// somehow still writing dies on EPIPE instead of blocking), then a
+// blocking reap: no zombies, no leaked descriptors, exception or not.
+//
+// Batches are serialized: run_batch holds the pool lock for the duration,
+// so concurrent executors sharing one pool queue instead of interleaving
+// frames on one pipe.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/batch.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/shard.hpp"
+
+namespace eds::runtime {
+
+/// The warm fleet behind ProcessShardExecutor's pooled mode.  Usable on
+/// its own (tests drive it directly); POSIX-only, like the executor.
+class WorkerPool {
+ public:
+  /// Same shape as the executor's counters — the executor's stats() is
+  /// the sum of its live pool and every pool it has already drained.
+  using Stats = ProcessShardExecutor::Stats;
+
+  /// `worker_command` as in ProcessShardExecutor; `shards` must already be
+  /// resolved (non-zero).  `idle_timeout` of zero disables idle reaping.
+  WorkerPool(std::vector<std::string> worker_command, unsigned shards,
+             std::chrono::milliseconds idle_timeout);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs one batch with full Executor semantics: jobs routed by
+  /// JobSpec::group, results delivered to `on_result` in strictly
+  /// increasing index order, prefix rule + residual failures on worker
+  /// death or protocol violation.  Jobs must already be validated
+  /// (ProcessShardExecutor::validate).  Expired idle workers are reaped
+  /// and dead slots respawned before any job is written.
+  void run_batch(const std::vector<BatchJob>& jobs,
+                 const Executor::ResultCallback& on_result);
+
+  /// Retires every worker idle past the timeout (no-op when the timeout
+  /// is zero).  run_batch does this implicitly; exposed so a long-idle
+  /// owner can release the processes without waiting for the next batch.
+  void reap_idle();
+
+  /// Retires every live worker now (clean EOF + reap).  The pool stays
+  /// usable: the next batch respawns lazily.
+  void drain();
+
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+
+  /// Worker processes currently alive and warm.
+  [[nodiscard]] std::size_t live_workers() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Slot {
+    long pid = -1;    ///< pid_t, widened so the header stays POSIX-free
+    int in_fd = -1;   ///< parent writes frames here (worker stdin)
+    int out_fd = -1;  ///< parent reads result lines here (worker stdout)
+    /// The previous occupant died in service (mid-batch death, protocol
+    /// violation, or found dead at checkout) — the next spawn here is a
+    /// *respawn*.  A clean idle reap does not set this.
+    bool died_dirty = false;
+    std::chrono::steady_clock::time_point last_used{};
+  };
+
+  /// Per-checkout state of one slot's service of one batch (worker_pool.cpp).
+  struct BatchTask;
+
+  void reap_idle_locked(std::chrono::steady_clock::time_point now);
+  /// Clean EOF + blocking reap; `count_reaped` separates idle/drain
+  /// retirements (visible in stats) from destructor teardown.
+  void retire_locked(Slot& slot, bool count_reaped);
+  void ensure_worker_locked(Slot& slot);
+
+  std::vector<std::string> worker_command_;
+  unsigned shards_;
+  std::chrono::milliseconds idle_timeout_;
+  mutable std::mutex batch_mutex_;  ///< serializes batches + lifecycle
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+  std::vector<Slot> slots_;
+  std::uint64_t next_batch_id_ = 0;
+};
+
+}  // namespace eds::runtime

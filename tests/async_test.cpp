@@ -673,7 +673,7 @@ TEST(AsyncDispatch, ExecOptionsRouteThroughRunSynchronous) {
   EXPECT_EQ(outcome.stats, baseline.stats);
 }
 
-TEST(AsyncDispatch, ProcessShardExecutorRejectsAsyncJobs) {
+TEST(AsyncDispatch, ProcessShardExecutorAcceptsAsyncButNotSchedules) {
   const auto g = test::figure2_multigraph_m();
   const EchoFactory factory(2);
   BatchJob job;
@@ -684,8 +684,15 @@ TEST(AsyncDispatch, ProcessShardExecutorRejectsAsyncJobs) {
   job.spec = spec;
   job.options.exec.async = AsyncOptions{};
 
+  // Since schema 2 plain async jobs cross the wire...
   const ProcessShardExecutor executor({"/nonexistent/edsim", "worker"}, 2);
-  EXPECT_THROW(executor.validate({job}), InvalidArgument);
+  EXPECT_NO_THROW(executor.validate({job}));
+
+  // ...but adversarial schedules are an in-process search artifact and
+  // never do.
+  BatchJob scheduled = job;
+  scheduled.options.exec.async->schedule.prio_seed = 7;
+  EXPECT_THROW(executor.validate({scheduled}), InvalidArgument);
 }
 
 TEST(AsyncStatsCounters, SynchronizerAccountsAcksAndVirtualTime) {

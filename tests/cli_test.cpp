@@ -264,7 +264,7 @@ TEST(Cli, SweepNdjsonStreamsOneObjectPerJob) {
     EXPECT_EQ(line.front(), '{') << line;
     EXPECT_EQ(line.back(), '}') << line;
     // Every object — jobs and summary — is versioned with the protocol.
-    EXPECT_NE(line.find("\"schema\":1"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"schema\":2"), std::string::npos) << line;
     if (line.find("\"summary\"") != std::string::npos) {
       saw_summary = true;
       EXPECT_NE(line.find("\"plans_compiled\":3"), std::string::npos) << line;
@@ -544,7 +544,13 @@ TEST(Cli, SweepModelAsyncRejections) {
     return invoke(args).code;
   };
   EXPECT_EQ(fails({"--model", "turbo"}), 2);
-  EXPECT_EQ(fails({"--model", "async", "--shards", "2"}), 2);
+  // --model async + --shards is legal since schema 2; what stays out of
+  // the wire is the adversary (schedules are an in-process artifact), and
+  // --no-pool is meaningless without shards.
+  EXPECT_EQ(fails({"--model", "async", "--adversary", "random", "--shards",
+                   "2"}),
+            2);
+  EXPECT_EQ(fails({"--no-pool"}), 2);
   EXPECT_EQ(fails({"--model", "async", "--delay", "bogus:1"}), 2);
   EXPECT_EQ(fails({"--model", "async", "--delay", "uniform:9:1"}), 2);
   EXPECT_EQ(fails({"--model", "async", "--loss", "1.5"}), 2);

@@ -115,9 +115,9 @@ TEST(WireCodec, RejectsForeignSchemaAndMalformedLines) {
   job.algorithm = "port-one";
   job.graph_text = "ports 0\n";
   auto line = encode_wire_job(job);
-  const auto pos = line.find("\"schema\":1");
+  const auto pos = line.find("\"schema\":2");
   ASSERT_NE(pos, std::string::npos);
-  line.replace(pos, 10, "\"schema\":2");
+  line.replace(pos, 10, "\"schema\":9");
   EXPECT_THROW((void)decode_wire_job(line), InvalidArgument);
 
   EXPECT_THROW((void)decode_wire_job("not json"), InvalidArgument);
