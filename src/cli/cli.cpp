@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #if defined(__linux__)
 #include <unistd.h>
@@ -102,6 +104,9 @@ void usage(std::ostream& out) {
          "  sweep <family> [--min N] [--max N] [--step S] [--d D]\n"
          "        [--algorithm A] [--param P] [--seed S] [--threads N]\n"
          "        [--shards N] [--no-pool] [--repeat R] [--ndjson]\n"
+         "        [--retries K] [--retry-backoff-ms B] [--job-timeout-ms T]\n"
+         "        [--batch-timeout-ms T] [--breaker-deaths D]\n"
+         "        [--fallback-inprocess] [--chaos SPEC]\n"
          "        [--model sync|async] [--delay SPEC] [--loss P] [--dup P]\n"
          "        [--crash K] [--timeout T] [--synchronizer on|off]\n"
          "        [--adversary random|pct|delay|climb] [--budget N]\n"
@@ -127,7 +132,20 @@ void usage(std::ostream& out) {
          "      thread; output is byte-identical either way; workers are\n"
          "      pooled — they stay warm between batches with per-shard\n"
          "      plan caches, summed in the summary — and --no-pool\n"
-         "      restores the fork-per-batch behaviour);\n"
+         "      restores the fork-per-batch behaviour); sharded sweeps are\n"
+         "      resilient: a job orphaned by a worker death is retried up\n"
+         "      to --retries K times (default 2, 0 = strict fail-fast) with\n"
+         "      exponential backoff from --retry-backoff-ms B (default 10),\n"
+         "      --job-timeout-ms T kills a worker stuck on one job and\n"
+         "      --batch-timeout-ms T bounds the whole batch (0 = off),\n"
+         "      --breaker-deaths D quarantines the pool after D worker\n"
+         "      deaths in one batch (default 8, 0 = off) and\n"
+         "      --fallback-inprocess degrades a quarantined pool to\n"
+         "      in-process execution instead of failing; retry/deadline/\n"
+         "      quarantine counters appear in the summary when non-zero;\n"
+         "      --chaos crash:N|hang:N:MS|garbage:N|slow:N:MS|exit-mid:N|\n"
+         "      poison:I|rand:SEED:PERMILLE injects deterministic worker\n"
+         "      misbehaviour (test hook; also via EDS_WORKER_CHAOS);\n"
          "      --model async runs the event-driven asynchronous engine:\n"
          "      --delay fixed:T|uniform:LO:HI|geometric:MEAN[:CAP] is the\n"
          "      per-link delay model, the α-synchronizer (--synchronizer,\n"
@@ -616,6 +634,14 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     err << "sweep: --no-pool only makes sense with --shards\n";
     return 2;
   }
+  for (const char* flag :
+       {"retries", "retry-backoff-ms", "job-timeout-ms", "batch-timeout-ms",
+        "breaker-deaths", "fallback-inprocess", "chaos"}) {
+    if (args.has(flag) && !args.has("shards")) {
+      err << "sweep: --" << flag << " only makes sense with --shards\n";
+      return 2;
+    }
+  }
   if (args.has("shards")) {
     if (adversary) {
       err << "sweep: --adversary cannot run under --shards (adversarial "
@@ -630,9 +656,28 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
     }
     runtime::ProcessShardExecutor::Options pool_options;
     pool_options.pooled = !args.has("no-pool");
+    pool_options.max_retries =
+        static_cast<unsigned>(args.get_u64("retries", 2));
+    pool_options.retry_backoff_ms = args.get_u64("retry-backoff-ms", 10);
+    pool_options.job_timeout_ms = args.get_u64("job-timeout-ms", 0);
+    pool_options.batch_timeout_ms = args.get_u64("batch-timeout-ms", 0);
+    pool_options.breaker_deaths = args.get_u64("breaker-deaths", 8);
+    pool_options.fallback_inprocess = args.has("fallback-inprocess");
+    std::vector<std::string> worker_command{bin, "worker"};
+    if (args.has("chaos")) {
+      const auto spec = args.get("chaos");
+      try {
+        (void)runtime::parse_chaos_spec(spec);  // reject bad specs up front
+      } catch (const Error& e) {
+        err << "sweep: " << e.what() << '\n';
+        return 2;
+      }
+      worker_command.push_back("--chaos");
+      worker_command.push_back(spec);
+    }
     try {
       shard_exec = std::make_unique<runtime::ProcessShardExecutor>(
-          std::vector<std::string>{bin, "worker"},
+          std::move(worker_command),
           static_cast<unsigned>(args.get_u64("shards", 0)), pool_options);
     } catch (const Error& e) {
       err << "sweep: " << e.what() << '\n';
@@ -677,20 +722,43 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
                              std::optional<bool> all_feasible) {
     std::uint64_t compiled = 0;
     std::uint64_t hits = 0;
+    runtime::ProcessShardExecutor::Stats shard_stats;
     if (shard_exec != nullptr) {
-      const auto stats = shard_exec->stats();
-      compiled = stats.plans_compiled;
-      hits = stats.plan_hits;
+      shard_stats = shard_exec->stats();
+      // Jobs the resilience layer rerouted in-process compiled against the
+      // parent-side cache; add its counters so degraded runs still account
+      // for every plan.  A clean sharded run adds zeros.
+      const auto parent = plan_cache.stats();
+      compiled = shard_stats.plans_compiled + parent.misses;
+      hits = shard_stats.plan_hits + parent.hits;
     } else {
       const auto stats = plan_cache.stats();
       compiled = stats.misses;
       hits = stats.hits;
     }
+    // Emitted only when something degraded, so a clean run's summary stays
+    // byte-identical across backends and to the pre-resilience format.
+    const bool degraded =
+        shard_stats.jobs_retried != 0 || shard_stats.jobs_poisoned != 0 ||
+        shard_stats.deadline_kills != 0 || shard_stats.batch_timeouts != 0 ||
+        shard_stats.workers_respawned != 0 ||
+        shard_stats.pool_quarantines != 0 ||
+        shard_stats.fallback_jobs != 0 || shard_stats.summaries_lost != 0;
     if (ndjson) {
       out << "{\"schema\":" << runtime::kWireSchemaVersion
           << ",\"summary\":{\"jobs\":" << jobs
           << ",\"plans_compiled\":" << compiled
           << ",\"plan_hits\":" << hits;
+      if (degraded) {
+        out << ",\"jobs_retried\":" << shard_stats.jobs_retried
+            << ",\"jobs_poisoned\":" << shard_stats.jobs_poisoned
+            << ",\"deadline_kills\":" << shard_stats.deadline_kills
+            << ",\"batch_timeouts\":" << shard_stats.batch_timeouts
+            << ",\"workers_respawned\":" << shard_stats.workers_respawned
+            << ",\"pool_quarantines\":" << shard_stats.pool_quarantines
+            << ",\"fallback_jobs\":" << shard_stats.fallback_jobs
+            << ",\"summaries_lost\":" << shard_stats.summaries_lost;
+      }
       if (all_feasible.has_value()) {
         out << ",\"all_feasible\":" << (*all_feasible ? "true" : "false");
       }
@@ -722,6 +790,20 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
       }
       out << "plan-cache: compiled=" << compiled
           << " hits=" << hits << '\n';
+      if (degraded) {
+        out << "resilience: retried=" << shard_stats.jobs_retried
+            << " poisoned=" << shard_stats.jobs_poisoned
+            << " deadline-kills=" << shard_stats.deadline_kills
+            << " batch-timeouts=" << shard_stats.batch_timeouts
+            << " respawned=" << shard_stats.workers_respawned
+            << " quarantines=" << shard_stats.pool_quarantines
+            << " fallback-jobs=" << shard_stats.fallback_jobs
+            << " summaries-lost=" << shard_stats.summaries_lost << '\n';
+        // A lost summary is a worker that died before reporting its batch
+        // delta: the plan-cache line above under-counts that worker's
+        // compiles/hits (the wire only carries counters in the batch-end
+        // summary), which this counter makes attributable.
+      }
     }
   };
 
@@ -1204,17 +1286,46 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
 /// contract.  Malformed or out-of-frame lines are protocol failures:
 /// exit 2, loudly.
 ///
-/// `--fail-after K` is a test hook: exit 7 (without a summary) after K
-/// cumulative result lines, simulating a worker dying mid-batch.
+/// Chaos hooks (the deterministic misbehaviour injectors behind the
+/// resilience layer's tests): `--chaos SPEC` wins, then the historical
+/// `--fail-after K` (an alias for `crash:K`: exit 7 without a summary
+/// after K cumulative result lines), then the EDS_WORKER_CHAOS
+/// environment variable — the route a test or the chaos-soak CI job uses
+/// to garble a whole fleet without touching the parent's command line.
 int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
                std::ostream& err) {
-  const auto fail_after = args.get_u64("fail-after", 0);
+  runtime::ChaosSpec chaos;
+  try {
+    if (args.has("chaos")) {
+      chaos = runtime::parse_chaos_spec(args.get("chaos"));
+    } else if (args.has("fail-after")) {
+      chaos.mode = runtime::ChaosSpec::Mode::kCrash;
+      chaos.n = args.get_u64("fail-after", 0);
+      if (chaos.n == 0) chaos.mode = runtime::ChaosSpec::Mode::kNone;
+    } else if (const char* env = std::getenv("EDS_WORKER_CHAOS")) {
+      chaos = runtime::parse_chaos_spec(env);
+    }
+  } catch (const Error& e) {
+    err << "worker: " << e.what() << '\n';
+    return 2;
+  }
+
   runtime::PlanCache cache;
   std::uint64_t total_jobs = 0;
 
   // Runs one job under the persistent cache, answering at `schema`.
-  // Returns false when the --fail-after hook fired (caller exits 7).
-  const auto run_job = [&](const runtime::WireJob& job, int schema) {
+  // Returns 0 to keep serving, or the exit code a chaos action demands.
+  // Chaos actions *return* instead of _exit so the in-process run_cli
+  // tests observe them exactly like a forked worker's exit status.
+  const auto run_job = [&](const runtime::WireJob& job, int schema) -> int {
+    const auto action = runtime::chaos_action(chaos, total_jobs + 1, job.index);
+    if (action.mode == runtime::ChaosSpec::Mode::kPoison) {
+      return 13;  // die on sight: no answer, no summary, every time
+    }
+    if (action.mode == runtime::ChaosSpec::Mode::kHang) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.ms));
+    }
+    std::string answer;
     try {
       const auto g = port::from_port_graph_string(job.graph_text);
       const auto algorithm = algo::algorithm_from_token(job.algorithm);
@@ -1229,19 +1340,51 @@ int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
       options.exec.plan_cache = &cache;
       options.exec.async = job.async;
       const auto result = runtime::run_synchronous(g, *factory, options);
-      out << runtime::encode_wire_result(job.index, result, schema) << '\n';
+      answer = runtime::encode_wire_result(job.index, result, schema);
     } catch (const std::exception& e) {
       // Any job failure — eds::Error or std::bad_alloc alike — becomes an
       // error line for exactly that job, matching the in-process backend's
       // catch-everything per-job semantics.
-      out << runtime::encode_wire_error(job.index, e.what(), schema) << '\n';
+      answer = runtime::encode_wire_error(job.index, e.what(), schema);
     }
-    out.flush();
     ++total_jobs;
-    return !(fail_after != 0 && total_jobs >= fail_after);
+    switch (action.mode) {
+      case runtime::ChaosSpec::Mode::kGarbage:
+        // The real answer is swallowed; the parent reads a non-protocol
+        // line, kills this worker, and retries the job elsewhere.
+        out << "!! chaos garbage in place of job " << job.index << '\n';
+        out.flush();
+        break;
+      case runtime::ChaosSpec::Mode::kSlow: {
+        // One answer, two flushes: exercises the parent's partial-line
+        // buffering without breaking protocol.
+        const std::size_t half = answer.size() / 2;
+        out << answer.substr(0, half);
+        out.flush();
+        std::this_thread::sleep_for(std::chrono::milliseconds(action.ms));
+        out << answer.substr(half) << '\n';
+        out.flush();
+        break;
+      }
+      case runtime::ChaosSpec::Mode::kExitMid:
+        // Half a frame, then death: the parent sees a truncated trailing
+        // line at EOF and reports it in the retry diagnostics.
+        out << answer.substr(0, answer.size() / 2);
+        out.flush();
+        return 11;
+      default:
+        out << answer << '\n';
+        out.flush();
+        break;
+    }
+    if (action.mode == runtime::ChaosSpec::Mode::kCrash) {
+      return 7;  // historical --fail-after status: die without a summary
+    }
+    return 0;
   };
 
   std::string line;
+  std::size_t line_no = 0;
   int mode_schema = 0;  ///< locked by the first line (0 = nothing seen yet)
   bool framed = false;
   bool batch_open = false;
@@ -1249,14 +1392,18 @@ int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
   std::uint64_t batch_jobs = 0;
   runtime::PlanCache::Stats batch_base;  // cache counters at batch_begin
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     runtime::ParentLine parsed;
     try {
       parsed = runtime::decode_parent_line(line);
     } catch (const Error& e) {
       // A malformed line is a protocol failure, not a job failure: die
-      // loudly and let the parent fail this shard's remaining jobs.
-      err << "worker: " << e.what() << '\n';
+      // loudly — naming the line and a snippet of what arrived — and let
+      // the parent handle this shard's unfinished jobs.
+      err << "worker: malformed parent "
+          << runtime::detail::describe_wire_line(line_no, line) << ": "
+          << e.what() << '\n';
       return 2;
     }
     if (mode_schema == 0) {
@@ -1279,9 +1426,11 @@ int cmd_worker(const Args& args, std::istream& in, std::ostream& out,
           err << "worker: job line outside a batch\n";
           return 2;
         }
-        if (!run_job(parsed.job, framed ? runtime::kWireSchemaVersion
-                                        : mode_schema)) {
-          return 7;  // --fail-after: die without a summary
+        if (const int rc = run_job(parsed.job, framed
+                                                   ? runtime::kWireSchemaVersion
+                                                   : mode_schema);
+            rc != 0) {
+          return rc;  // a chaos action fired: die as instructed
         }
         ++batch_jobs;
         break;

@@ -575,7 +575,193 @@ std::string encode_wire_job_preescaped(const WireJob& job,
                          kWireSchemaVersion);
 }
 
+std::string describe_wire_line(std::size_t line_no, const std::string& line) {
+  // Keep the snippet one error-message-sized line no matter what arrived:
+  // escape the control characters a garbled frame tends to carry and cut
+  // at 80 chars — enough to recognize the line, never a log bomb.
+  constexpr std::size_t kMaxSnippet = 80;
+  std::string snippet;
+  append_escaped(snippet, line.size() > kMaxSnippet
+                              ? line.substr(0, kMaxSnippet)
+                              : line);
+  if (line.size() > kMaxSnippet) snippet += "…";
+  return "line " + std::to_string(line_no) + " (\"" + snippet + "\")";
+}
+
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Chaos spec codec + action function.  Pure and deterministic so every
+// test failure replays: the worker's behaviour is a function of (spec,
+// job ordinal, wire index) and nothing else.
+
+namespace {
+
+[[nodiscard]] std::uint64_t parse_chaos_uint(const std::string& spec,
+                                             const std::string& field) {
+  if (field.empty() ||
+      field.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidArgument("chaos: expected a number in \"" + spec + "\"");
+  }
+  return std::stoull(field);
+}
+
+/// splitmix64: the same tiny deterministic mixer the fault layer uses —
+/// full-period, seedable, identical on every platform.
+[[nodiscard]] std::uint64_t chaos_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ChaosSpec parse_chaos_spec(const std::string& spec) {
+  ChaosSpec parsed;
+  if (spec.empty()) return parsed;
+
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(spec.substr(start));
+      break;
+    }
+    fields.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+
+  const auto want = [&](std::size_t n) {
+    if (fields.size() != n) {
+      throw InvalidArgument("chaos: \"" + spec + "\" takes " +
+                            std::to_string(n - 1) + " argument(s), got " +
+                            std::to_string(fields.size() - 1));
+    }
+  };
+  const std::string& mode = fields[0];
+  if (mode == "crash") {
+    want(2);
+    parsed.mode = ChaosSpec::Mode::kCrash;
+    parsed.n = parse_chaos_uint(spec, fields[1]);
+  } else if (mode == "hang") {
+    want(3);
+    parsed.mode = ChaosSpec::Mode::kHang;
+    parsed.n = parse_chaos_uint(spec, fields[1]);
+    parsed.ms = parse_chaos_uint(spec, fields[2]);
+  } else if (mode == "garbage") {
+    want(2);
+    parsed.mode = ChaosSpec::Mode::kGarbage;
+    parsed.n = parse_chaos_uint(spec, fields[1]);
+  } else if (mode == "slow") {
+    want(3);
+    parsed.mode = ChaosSpec::Mode::kSlow;
+    parsed.n = parse_chaos_uint(spec, fields[1]);
+    parsed.ms = parse_chaos_uint(spec, fields[2]);
+  } else if (mode == "exit-mid") {
+    want(2);
+    parsed.mode = ChaosSpec::Mode::kExitMid;
+    parsed.n = parse_chaos_uint(spec, fields[1]);
+  } else if (mode == "poison") {
+    want(2);
+    parsed.mode = ChaosSpec::Mode::kPoison;
+    parsed.n = parse_chaos_uint(spec, fields[1]);
+  } else if (mode == "rand") {
+    want(3);
+    parsed.mode = ChaosSpec::Mode::kRandom;
+    parsed.seed = parse_chaos_uint(spec, fields[1]);
+    parsed.permille = parse_chaos_uint(spec, fields[2]);
+    if (parsed.permille > 1000) {
+      throw InvalidArgument("chaos: rand permille must be <= 1000, got " +
+                            fields[2]);
+    }
+  } else {
+    throw InvalidArgument(
+        "chaos: unknown mode \"" + mode +
+        "\" (expected crash, hang, garbage, slow, exit-mid, poison, rand)");
+  }
+  // The deterministic modes trigger on a 1-based ordinal/index; "the 0th
+  // job" never exists for ordinals but poison:0 targets wire index 0.
+  if (parsed.mode != ChaosSpec::Mode::kPoison &&
+      parsed.mode != ChaosSpec::Mode::kRandom && parsed.n == 0) {
+    throw InvalidArgument("chaos: job ordinal must be >= 1 in \"" + spec +
+                          "\"");
+  }
+  return parsed;
+}
+
+std::string format_chaos_spec(const ChaosSpec& spec) {
+  switch (spec.mode) {
+    case ChaosSpec::Mode::kNone:
+      return "";
+    case ChaosSpec::Mode::kCrash:
+      return "crash:" + std::to_string(spec.n);
+    case ChaosSpec::Mode::kHang:
+      return "hang:" + std::to_string(spec.n) + ":" + std::to_string(spec.ms);
+    case ChaosSpec::Mode::kGarbage:
+      return "garbage:" + std::to_string(spec.n);
+    case ChaosSpec::Mode::kSlow:
+      return "slow:" + std::to_string(spec.n) + ":" + std::to_string(spec.ms);
+    case ChaosSpec::Mode::kExitMid:
+      return "exit-mid:" + std::to_string(spec.n);
+    case ChaosSpec::Mode::kPoison:
+      return "poison:" + std::to_string(spec.n);
+    case ChaosSpec::Mode::kRandom:
+      return "rand:" + std::to_string(spec.seed) + ":" +
+             std::to_string(spec.permille);
+  }
+  return "";
+}
+
+ChaosAction chaos_action(const ChaosSpec& spec, std::uint64_t job_ordinal,
+                         std::size_t wire_index) {
+  ChaosAction action;
+  switch (spec.mode) {
+    case ChaosSpec::Mode::kNone:
+      break;
+    case ChaosSpec::Mode::kCrash:
+      // Triggers at the Nth job and stays armed past it, so a worker that
+      // somehow survives (it should not) keeps trying to die.
+      if (job_ordinal >= spec.n) action.mode = spec.mode;
+      break;
+    case ChaosSpec::Mode::kHang:
+    case ChaosSpec::Mode::kGarbage:
+    case ChaosSpec::Mode::kSlow:
+    case ChaosSpec::Mode::kExitMid:
+      if (job_ordinal == spec.n) {
+        action.mode = spec.mode;
+        action.ms = spec.ms;
+      }
+      break;
+    case ChaosSpec::Mode::kPoison:
+      if (wire_index == spec.n) action.mode = spec.mode;
+      break;
+    case ChaosSpec::Mode::kRandom: {
+      const std::uint64_t draw = chaos_mix(spec.seed ^ chaos_mix(job_ordinal));
+      if (draw % 1000 < spec.permille) {
+        // Recoverable faults only — no hang (deadline-tuning territory)
+        // and no poison (it would defeat a retry budget by design).
+        switch ((draw >> 32) % 4) {
+          case 0:
+            action.mode = ChaosSpec::Mode::kCrash;
+            break;
+          case 1:
+            action.mode = ChaosSpec::Mode::kGarbage;
+            break;
+          case 2:
+            action.mode = ChaosSpec::Mode::kExitMid;
+            break;
+          default:
+            action.mode = ChaosSpec::Mode::kSlow;
+            action.ms = 2;
+        }
+      }
+      break;
+    }
+  }
+  return action;
+}
 
 // ---------------------------------------------------------------------------
 // The executor itself: validation + stats surface over a WorkerPool.  The
@@ -615,6 +801,30 @@ void accumulate(ProcessShardExecutor::Stats& into,
   into.workers_reaped += from.workers_reaped;
   into.plans_compiled += from.plans_compiled;
   into.plan_hits += from.plan_hits;
+  into.jobs_retried += from.jobs_retried;
+  into.jobs_poisoned += from.jobs_poisoned;
+  into.deadline_kills += from.deadline_kills;
+  into.batch_timeouts += from.batch_timeouts;
+  into.pool_quarantines += from.pool_quarantines;
+  into.fallback_jobs += from.fallback_jobs;
+  into.summaries_lost += from.summaries_lost;
+}
+
+/// The executor's *_ms knobs, as the pool's chrono Options.
+[[nodiscard]] WorkerPool::Options pool_options_from(
+    const ProcessShardExecutor::Options& options, bool pooled) {
+  WorkerPool::Options pool_options;
+  pool_options.idle_timeout = std::chrono::milliseconds(
+      pooled ? options.idle_timeout_ms : 0);  // ephemeral pools never reap
+  pool_options.max_retries = options.max_retries;
+  pool_options.retry_backoff =
+      std::chrono::milliseconds(options.retry_backoff_ms);
+  pool_options.job_timeout = std::chrono::milliseconds(options.job_timeout_ms);
+  pool_options.batch_timeout =
+      std::chrono::milliseconds(options.batch_timeout_ms);
+  pool_options.breaker_deaths = options.breaker_deaths;
+  pool_options.fallback_inprocess = options.fallback_inprocess;
+  return pool_options;
 }
 
 }  // namespace
@@ -634,6 +844,11 @@ std::size_t ProcessShardExecutor::live_workers() const {
 void ProcessShardExecutor::drain() const {
   const std::lock_guard<std::mutex> lock(pool_mutex_);
   if (pool_) pool_->drain();
+}
+
+bool ProcessShardExecutor::quarantined() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_ && pool_->quarantined();
 }
 
 void ProcessShardExecutor::validate(const std::vector<BatchJob>& jobs) const {
@@ -680,7 +895,7 @@ void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>& jobs,
       if (!pool_) {
         pool_ = std::make_unique<WorkerPool>(
             worker_command_, shards_,
-            std::chrono::milliseconds(options_.idle_timeout_ms));
+            pool_options_from(options_, /*pooled=*/true));
       }
       pool = pool_.get();
     }
@@ -692,8 +907,11 @@ void ProcessShardExecutor::run_streaming(const std::vector<BatchJob>& jobs,
 
   // Unpooled: the pre-pool behaviour — a fresh fleet per batch, drained
   // before returning.  Counters merge into retired_ even when the batch
-  // throws (jobs were shipped and workers forked either way).
-  WorkerPool ephemeral(worker_command_, shards_, std::chrono::milliseconds(0));
+  // throws (jobs were shipped and workers forked either way).  The
+  // resilience knobs apply within the batch; a quarantine dies with the
+  // ephemeral pool.
+  WorkerPool ephemeral(worker_command_, shards_,
+                       pool_options_from(options_, /*pooled=*/false));
   try {
     ephemeral.run_batch(jobs, on_result);
   } catch (...) {

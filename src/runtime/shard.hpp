@@ -12,15 +12,22 @@
 //  * Deterministic job-order merge — every result line carries its job
 //    index and lands in the shared reorder buffer, so delivery is the
 //    strictly increasing prefix regardless of shard scheduling.
-//  * Prefix rule on worker death — if a shard exits (or breaks protocol)
-//    before finishing its batch jobs, every unfinished job of that shard
-//    fails with an ExecutionError naming the exit status; results before
-//    the lowest failure are delivered, nothing at or after it, and the
-//    remaining shards drain before the failure is rethrown.  A shard that
-//    answers all its jobs but *then* deviates — extra output, an early
-//    exit, a missing summary — fails the batch too (after full delivery).
-//    The *next* batch through the pool transparently respawns the dead
-//    slot (counted in stats().workers_respawned).
+//  * Resilience on worker death — by default a worker that exits (or
+//    breaks protocol) mid-batch no longer fails its unfinished jobs: the
+//    in-flight job is charged one attempt and the orphans are re-queued
+//    to a healthy/respawned worker with exponential backoff, so the batch
+//    completes byte-identical to an in-process run (retries are visible
+//    in stats(), not in results).  A job that keeps killing workers is
+//    *poisoned* once its attempt budget (Options::max_retries) runs out
+//    and fails alone, carrying every attempt's exit status; optional job
+//    and batch deadlines kill hung workers instead of stalling; a
+//    crash-loop breaker quarantines the pool, optionally degrading to
+//    in-process execution.  Setting max_retries to zero restores the
+//    strict prefix rule: every unfinished job of a dead shard fails with
+//    an ExecutionError naming the exit status, results before the lowest
+//    failure are delivered, and a shard that answers all its jobs but
+//    then deviates fails the batch after full delivery.  Either way the
+//    next batch transparently respawns dead slots (workers_respawned).
 //  * Per-shard plan caches — each worker keeps its own PlanCache and
 //    reports compiled/hit counters in a per-batch summary line; jobs are
 //    routed by JobSpec::group (the graph's structural hash), so one
@@ -161,7 +168,71 @@ namespace detail {
 void wire_escape(std::string& out, const std::string& text);
 [[nodiscard]] std::string encode_wire_job_preescaped(
     const WireJob& job, const std::string& escaped_graph);
+/// Diagnostic context for a protocol failure: `line 17 ("{"schema":2,…")`
+/// — 1-based line number plus a truncated, escape-sanitized snippet of the
+/// raw line, so a chaos-garbled frame is debuggable from the error alone.
+[[nodiscard]] std::string describe_wire_line(std::size_t line_no,
+                                             const std::string& line);
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Deterministic process-level chaos (the `edsim worker --chaos SPEC` hook,
+// also routed through the EDS_WORKER_CHAOS environment variable).  Every
+// retry / deadline / quarantine path in the resilience layer is exercised
+// by *replayable* worker misbehaviour: the spec is a pure function of
+// (spec, job ordinal, wire index), so a failing run reproduces exactly.
+
+/// One parsed `--chaos` specification.
+///
+///   crash:N        exit 7 after answering the Nth job (process-cumulative;
+///                  `--fail-after K` is an alias for `crash:K`)
+///   hang:N:MS      sleep MS ms before answering the Nth job
+///   garbage:N      emit a non-protocol line instead of the Nth result and
+///                  keep running (the parent kills on the violation)
+///   slow:N:MS      write the Nth result line in two flushes MS ms apart
+///   exit-mid:N     write half of the Nth result line and exit 11
+///   poison:I       exit 13 on receiving the job with *wire index* I —
+///                  the poison-job simulator: every worker that is handed
+///                  job I dies, every time
+///   rand:SEED:PM   seeded per-job draw: with probability PM/1000 apply one
+///                  of crash / garbage / exit-mid / slow, chosen by the
+///                  same draw (deterministic in SEED and the job ordinal)
+struct ChaosSpec {
+  enum class Mode {
+    kNone,
+    kCrash,
+    kHang,
+    kGarbage,
+    kSlow,
+    kExitMid,
+    kPoison,
+    kRandom,
+  };
+  Mode mode = Mode::kNone;
+  std::uint64_t n = 0;         ///< job ordinal (1-based), or wire index (poison)
+  std::uint64_t ms = 0;        ///< hang / slow delay
+  std::uint64_t seed = 0;      ///< rand
+  std::uint64_t permille = 0;  ///< rand: fault probability out of 1000
+};
+
+/// Parses a chaos spec ("" = none).  Throws InvalidArgument on anything
+/// malformed — an unknown mode, a missing field, permille > 1000.
+[[nodiscard]] ChaosSpec parse_chaos_spec(const std::string& spec);
+
+/// Canonical text form; parse_chaos_spec(format_chaos_spec(s)) == s.
+[[nodiscard]] std::string format_chaos_spec(const ChaosSpec& spec);
+
+/// The action a worker applies to one job: a pure function of the spec,
+/// the 1-based process-cumulative job ordinal, and the job's wire index.
+/// kCrash in the result means "die after answering this job"; kNone means
+/// behave normally.
+struct ChaosAction {
+  ChaosSpec::Mode mode = ChaosSpec::Mode::kNone;
+  std::uint64_t ms = 0;
+};
+[[nodiscard]] ChaosAction chaos_action(const ChaosSpec& spec,
+                                       std::uint64_t job_ordinal,
+                                       std::size_t wire_index);
 
 /// The process-sharding backend.  POSIX-only: constructing one on a
 /// platform without fork/pipe throws InvalidArgument.
@@ -174,13 +245,22 @@ class ProcessShardExecutor final : public Executor {
   /// it and workers_respawned), so a warm second batch shows a spawn
   /// delta of zero.
   struct Stats {
-    std::uint64_t jobs_shipped = 0;
+    std::uint64_t jobs_shipped = 0;       ///< job shipments incl. retries
     std::uint64_t batches_run = 0;
     std::uint64_t workers_spawned = 0;
     std::uint64_t workers_respawned = 0;  ///< replacements for dead workers
     std::uint64_t workers_reaped = 0;     ///< idle-timeout retirements
     std::uint64_t plans_compiled = 0;
     std::uint64_t plan_hits = 0;
+    // Resilience counters (all zero on a clean run, so the observable
+    // sweep summary is byte-identical to the pre-resilience format).
+    std::uint64_t jobs_retried = 0;     ///< orphaned jobs re-shipped
+    std::uint64_t jobs_poisoned = 0;    ///< jobs whose attempt budget ran out
+    std::uint64_t deadline_kills = 0;   ///< SIGKILLs for a blown job deadline
+    std::uint64_t batch_timeouts = 0;   ///< batches cut off at the deadline
+    std::uint64_t pool_quarantines = 0; ///< crash-loop breaker trips
+    std::uint64_t fallback_jobs = 0;    ///< jobs rerouted in-process
+    std::uint64_t summaries_lost = 0;   ///< batch summaries a death swallowed
   };
 
   /// Pool behaviour knobs (see WorkerPool for the lifecycle details).
@@ -193,6 +273,33 @@ class ProcessShardExecutor final : public Executor {
     /// A warm worker untouched for this long is retired at the start of
     /// the next batch (0 = never).  Pooled mode only.
     std::uint64_t idle_timeout_ms = 5 * 60 * 1000;
+    /// Attempt budget per job beyond the first try.  A job orphaned by a
+    /// worker death is re-queued (with backoff) until the budget runs out,
+    /// at which point it is *poisoned*: it fails alone with per-attempt
+    /// diagnostics while its batch siblings complete.  0 restores the
+    /// strict pre-resilience prefix rule: any worker death fails every
+    /// unfinished job of that shard and the batch throws.
+    unsigned max_retries = 2;
+    /// Base delay before a retry pass; doubles each pass, capped at 1s.
+    std::uint64_t retry_backoff_ms = 10;
+    /// A worker that goes this long without completing a result line is
+    /// SIGKILLed (counted in deadline_kills) and its in-flight job charged
+    /// an attempt + retried elsewhere.  0 = no job deadline.
+    std::uint64_t job_timeout_ms = 0;
+    /// Hard wall-clock bound for one batch: past it every still-running
+    /// worker is killed and the unfinished jobs fail cleanly instead of
+    /// hanging.  0 = no batch deadline.
+    std::uint64_t batch_timeout_ms = 0;
+    /// Crash-loop breaker: more worker deaths than this inside one batch
+    /// quarantines the pool (0 = breaker off).  A quarantined pool fails
+    /// fast — or degrades gracefully when fallback_inprocess is set —
+    /// until drain() resets it.
+    std::uint64_t breaker_deaths = 8;
+    /// When the breaker trips (or a quarantined pool receives a batch),
+    /// reroute the remaining jobs through in-process execution instead of
+    /// failing them.  Results stay bit-identical by construction: workers
+    /// run the same run_synchronous the fallback calls.
+    bool fallback_inprocess = false;
   };
 
   /// `worker_command` is the argv of one shard process (e.g.
@@ -224,8 +331,13 @@ class ProcessShardExecutor final : public Executor {
   [[nodiscard]] std::size_t live_workers() const;
 
   /// Retires pooled workers now (clean EOF + reap); the next batch
-  /// respawns lazily.  No-op in unpooled mode.
+  /// respawns lazily.  Also lifts a quarantine.  No-op in unpooled mode.
   void drain() const;
+
+  /// True while the pooled fleet is quarantined by the crash-loop breaker
+  /// (always false in unpooled mode: an ephemeral pool's quarantine dies
+  /// with its batch).  drain() resets it.
+  [[nodiscard]] bool quarantined() const;
 
   [[nodiscard]] Stats stats() const;
 

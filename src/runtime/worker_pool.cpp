@@ -9,6 +9,11 @@
 
 namespace eds::runtime {
 
+WorkerPool::WorkerPool(std::vector<std::string>, unsigned, Options) {
+  throw InvalidArgument(
+      "WorkerPool: process sharding requires a POSIX platform");
+}
+
 WorkerPool::WorkerPool(std::vector<std::string>, unsigned,
                        std::chrono::milliseconds) {
   throw InvalidArgument(
@@ -25,6 +30,7 @@ void WorkerPool::run_batch(const std::vector<BatchJob>&,
 
 void WorkerPool::reap_idle() {}
 void WorkerPool::drain() {}
+bool WorkerPool::quarantined() const { return false; }
 std::size_t WorkerPool::live_workers() const { return 0; }
 WorkerPool::Stats WorkerPool::stats() const { return {}; }
 
@@ -32,7 +38,11 @@ WorkerPool::Stats WorkerPool::stats() const { return {}; }
 
 #else  // POSIX
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <condition_variable>
+#include <memory>
 #include <thread>
 #include <unordered_map>
 
@@ -45,6 +55,7 @@ WorkerPool::Stats WorkerPool::stats() const { return {}; }
 
 #include "port/io.hpp"
 #include "runtime/reorder.hpp"
+#include "runtime/runner.hpp"
 
 namespace eds::runtime {
 
@@ -104,32 +115,56 @@ void block_sigpipe_on_this_thread() {
   return WIFEXITED(status) && WEXITSTATUS(status) == 0;
 }
 
+[[nodiscard]] std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
-/// Parent-side bookkeeping for one slot's service of one batch.  The
-/// process itself (pid + pipes) lives in the Slot and survives the batch;
+/// Parent-side bookkeeping for one slot's service of one retry pass.  The
+/// process itself (pid + pipes) lives in the Slot and survives the pass;
 /// this is only the per-checkout state.
-struct WorkerPool::BatchTask {
+struct WorkerPool::PassTask {
   Slot* slot = nullptr;
-  const std::vector<std::size_t>* assigned = nullptr;  ///< global indices
+  std::vector<std::size_t> assigned;  ///< global job indices (owned: the
+                                      ///< task outlives the pass locals)
+  long pid = -1;               ///< pid snapshot: stable for kill decisions
   std::size_t completed = 0;   ///< result/error lines accepted so far
   std::string violation;       ///< protocol-violation description, if any
+  std::string trailing;        ///< truncated partial line left at EOF
   bool dead = false;           ///< EOF observed (worker exited in service)
   int wait_status = 0;         ///< raw waitpid status (valid when dead)
   WorkerSummary summary;
   bool summary_seen = false;
+
+  /// The kill protocol between reader and monitor.  The reader marks
+  /// `reaped` *before* its waitpid and `settled` once the summary lands;
+  /// the monitor SIGKILLs only a task that is neither — so a deadline
+  /// kill can never hit a recycled pid or a worker that already finished
+  /// its batch.
+  std::mutex kill_mutex;
+  bool reaped = false;          ///< kill_mutex
+  bool settled = false;         ///< kill_mutex: summary seen, worker warm
+  bool kill_sent = false;       ///< kill_mutex
+  bool deadline_killed = false; ///< kill_mutex; read after the joins
+  /// steady_clock ns of the last completed worker line — the monitor's
+  /// definition of "stuck on one job".
+  std::atomic<std::int64_t> last_progress_ns{0};
+
   std::thread writer;
   std::thread reader;
 
-  /// A shard that answered all its batch jobs can still have broken
-  /// protocol afterwards — extra output, an unexpected exit, a missing
-  /// summary.  The delivered results are trustworthy (each was verified
-  /// in arrival order), but the batch must not report success: the
-  /// summary counters are incomplete and the worker is not behaving as
-  /// specified.  Returns the failure description, or "" for a fully
-  /// clean shard.
+  /// Strict mode (max_retries == 0) only.  A shard that answered all its
+  /// batch jobs can still have broken protocol afterwards — extra output,
+  /// an unexpected exit, a missing summary.  The delivered results are
+  /// trustworthy (each was verified in arrival order), but the batch must
+  /// not report success: the summary counters are incomplete and the
+  /// worker is not behaving as specified.  Returns the failure
+  /// description, or "" for a fully clean shard.
   [[nodiscard]] std::string residual_failure() const {
-    if (completed < assigned->size()) return "";  // job errors cover it
+    if (completed < assigned.size()) return "";  // job errors cover it
     if (!violation.empty()) {
       return "process shard: " + violation + " after its last job";
     }
@@ -147,16 +182,28 @@ struct WorkerPool::BatchTask {
   }
 };
 
+/// What one retry pass leaves behind: the per-shard tasks (for failure
+/// classification) and whether the batch deadline fired during the pass.
+struct WorkerPool::PassOutcome {
+  std::vector<std::unique_ptr<PassTask>> tasks;
+  bool batch_expired = false;
+};
+
 WorkerPool::WorkerPool(std::vector<std::string> worker_command,
-                       unsigned shards, std::chrono::milliseconds idle_timeout)
+                       unsigned shards, Options options)
     : worker_command_(std::move(worker_command)),
       shards_(resolve_threads(shards)),
-      idle_timeout_(idle_timeout),
+      options_(options),
       slots_(shards_) {
   if (worker_command_.empty()) {
     throw InvalidArgument("WorkerPool: worker command must not be empty");
   }
 }
+
+WorkerPool::WorkerPool(std::vector<std::string> worker_command,
+                       unsigned shards, std::chrono::milliseconds idle_timeout)
+    : WorkerPool(std::move(worker_command), shards,
+                 Options{.idle_timeout = idle_timeout}) {}
 
 WorkerPool::~WorkerPool() {
   const std::lock_guard<std::mutex> lock(batch_mutex_);
@@ -184,16 +231,27 @@ void WorkerPool::retire_locked(Slot& slot, bool count_reaped) {
     slot.pid = -1;
   }
   slot.died_dirty = false;  // a deliberate retirement is not a death
+  // The credited summary (last_summary) deliberately survives retirement:
+  // stats() keeps counting it until the slot respawns and folds it.
   if (count_reaped) {
     const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.workers_reaped;
   }
 }
 
+void WorkerPool::fold_slot_summary_locked(Slot& slot) {
+  const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  if (!slot.has_summary) return;
+  stats_.plans_compiled += slot.last_summary.total_compiled;
+  stats_.plan_hits += slot.last_summary.total_hits;
+  slot.has_summary = false;
+  slot.last_summary = {};
+}
+
 void WorkerPool::reap_idle_locked(std::chrono::steady_clock::time_point now) {
-  if (idle_timeout_.count() == 0) return;
+  if (options_.idle_timeout.count() == 0) return;
   for (auto& slot : slots_) {
-    if (slot.pid >= 0 && now - slot.last_used >= idle_timeout_) {
+    if (slot.pid >= 0 && now - slot.last_used >= options_.idle_timeout) {
       retire_locked(slot, /*count_reaped=*/true);
     }
   }
@@ -209,6 +267,13 @@ void WorkerPool::drain() {
   for (auto& slot : slots_) {
     if (slot.pid >= 0) retire_locked(slot, /*count_reaped=*/true);
   }
+  quarantined_ = false;
+  quarantine_reason_.clear();
+}
+
+bool WorkerPool::quarantined() const {
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+  return quarantined_;
 }
 
 std::size_t WorkerPool::live_workers() const {
@@ -221,8 +286,21 @@ std::size_t WorkerPool::live_workers() const {
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
+  // Aggregates = folded totals of every ended worker + the credited
+  // cumulative totals of the current occupants.  A worker that dies
+  // before its final worker_summary still contributes its last-seen
+  // snapshot, so the counters are monotone across deaths (satellite:
+  // nothing is lost but the final batch's delta, which summaries_lost
+  // makes visible).
   const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  Stats merged = stats_;
+  for (const auto& slot : slots_) {
+    if (slot.has_summary) {
+      merged.plans_compiled += slot.last_summary.total_compiled;
+      merged.plan_hits += slot.last_summary.total_hits;
+    }
+  }
+  return merged;
 }
 
 void WorkerPool::ensure_worker_locked(Slot& slot) {
@@ -241,6 +319,11 @@ void WorkerPool::ensure_worker_locked(Slot& slot) {
     }
   }
   if (slot.pid >= 0) return;
+
+  // The previous occupant (if any) is gone for good: move its credited
+  // cumulative counters into the folded aggregates before the fresh
+  // worker starts counting from zero.
+  fold_slot_summary_locked(slot);
 
   int to_child[2] = {-1, -1};
   int from_child[2] = {-1, -1};
@@ -293,24 +376,45 @@ void WorkerPool::ensure_worker_locked(Slot& slot) {
   slot.died_dirty = false;
 }
 
-void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
-                           const Executor::ResultCallback& on_result) {
-  if (jobs.empty()) return;
-  const std::lock_guard<std::mutex> lock(batch_mutex_);
-
+WorkerPool::PassOutcome WorkerPool::run_pass(
+    const std::vector<BatchJob>& jobs,
+    const std::vector<std::size_t>& runnable,
+    detail::ReorderBuffer& buffer, const Executor::ResultCallback& on_result,
+    std::chrono::steady_clock::time_point batch_start) {
+  // Each pass is its own wire batch frame: a retried job reaches its
+  // (possibly respawned) worker inside a fresh batch_begin/batch_end
+  // envelope, so the worker-side protocol never sees a partial batch.
   const std::uint64_t batch_id = ++next_batch_id_;
-  const auto now = std::chrono::steady_clock::now();
-  reap_idle_locked(now);
 
   // Group-affinity routing: equal groups share a worker (and therefore a
-  // plan-cache entry); within a shard, jobs keep ascending index order.
+  // plan-cache entry); within a shard, jobs keep ascending index order —
+  // `runnable` is sorted, so retries preserve the deterministic order too.
   std::vector<std::vector<std::size_t>> assigned(shards_);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
+  for (const std::size_t i : runnable) {
     assigned[jobs[i].spec->group % shards_].push_back(i);
   }
 
-  detail::ReorderBuffer buffer(jobs.size());
-  std::vector<std::unique_ptr<BatchTask>> tasks;
+  PassOutcome outcome;
+  auto& tasks = outcome.tasks;
+
+  std::atomic<bool> expired{false};
+  std::thread monitor;
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  const auto stop_monitor_now = [&] {
+    if (!monitor.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lk(monitor_mutex);
+      monitor_stop = true;
+    }
+    monitor_cv.notify_one();
+    monitor.join();
+  };
+  // On the exception path the monitor must outlive return_workers (a
+  // reader blocked on a hung worker needs it) but die before the locals
+  // it captures; declared here, it unwinds right after the inner block.
+  const ScopeExit stop_monitor(stop_monitor_now);
 
   {
     // Returns every checked-out worker at scope exit — even when a later
@@ -319,7 +423,7 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
     // worker's stdout closed *first*, so a worker blocked writing results
     // dies on SIGPIPE and can neither stall the writer join nor the final
     // reap; a worker touched by such a path is retired as dead (the next
-    // batch respawns the slot).  On the normal path both threads exist
+    // pass respawns the slot).  On the normal path both threads exist
     // and this is a plain join/join; healthy workers stay warm.
     const ScopeExit return_workers([&tasks] {
       for (const auto& t : tasks) {
@@ -356,17 +460,20 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
       }
     });
 
+    const std::int64_t start_ns = steady_now_ns();
     for (unsigned s = 0; s < shards_; ++s) {
       if (assigned[s].empty()) continue;  // never fork an idle shard
       ensure_worker_locked(slots_[s]);
-      auto t = std::make_unique<BatchTask>();
+      auto t = std::make_unique<PassTask>();
       t->slot = &slots_[s];
-      t->assigned = &assigned[s];
+      t->assigned = std::move(assigned[s]);
+      t->pid = slots_[s].pid;
+      t->last_progress_ns.store(start_ns, std::memory_order_relaxed);
       tasks.push_back(std::move(t));  // visible to return_workers pre-start
     }
 
     for (const auto& t_ptr : tasks) {
-      BatchTask* t = t_ptr.get();
+      PassTask* t = t_ptr.get();
 
       t->writer = std::thread([t, &jobs, batch_id] {
         block_sigpipe_on_this_thread();
@@ -379,7 +486,7 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
         // when this writer exits, instead of a serial up-front pass whose
         // escaped copies would live until the whole batch drained.
         std::unordered_map<const port::PortGraph*, std::string> escaped;
-        for (const std::size_t idx : *t->assigned) {
+        for (const std::size_t idx : t->assigned) {
           const auto& job = jobs[idx];
           auto it = escaped.find(job.graph);
           if (it == escaped.end()) {
@@ -408,13 +515,18 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
 
       t->reader = std::thread([t, &buffer, &on_result, batch_id] {
         const int fd = t->slot->out_fd;
+        std::size_t line_no = 0;
         const auto violate = [t](std::string why) {
           t->violation = std::move(why);
           // A live worker that broke protocol will never send the summary
           // this reader is waiting for — kill it and drain to EOF (never
-          // block it on a full stdout pipe); its unfinished jobs fail at
-          // EOF and the next batch respawns the slot.
-          ::kill(static_cast<pid_t>(t->slot->pid), SIGKILL);
+          // block it on a full stdout pipe); the pass classifies the
+          // unfinished jobs after EOF and the next pass respawns the slot.
+          const std::lock_guard<std::mutex> lk(t->kill_mutex);
+          if (!t->reaped && !t->kill_sent && t->pid >= 0) {
+            ::kill(static_cast<pid_t>(t->pid), SIGKILL);
+            t->kill_sent = true;
+          }
         };
         std::string pending;
         char chunk[1 << 16];
@@ -431,15 +543,18 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
           while ((nl = pending.find('\n')) != std::string::npos) {
             const std::string line = pending.substr(0, nl);
             pending.erase(0, nl + 1);
+            ++line_no;
             if (!t->violation.empty()) continue;  // draining to EOF
             try {
               WorkerLine parsed = decode_worker_line(line);
+              t->last_progress_ns.store(steady_now_ns(),
+                                        std::memory_order_relaxed);
               if (parsed.kind == WorkerLine::Kind::kSummary) {
                 if (parsed.summary.batch_id != batch_id) {
                   violate("worker summarized the wrong batch");
                   continue;
                 }
-                if (t->completed < t->assigned->size()) {
+                if (t->completed < t->assigned.size()) {
                   violate("worker summarized before answering its jobs");
                   continue;
                 }
@@ -448,14 +563,26 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
                   continue;
                 }
                 t->summary = parsed.summary;
+                {
+                  // From here the worker is warm and off-batch: the
+                  // deadline monitor must never touch it again.
+                  const std::lock_guard<std::mutex> lk(t->kill_mutex);
+                  t->settled = true;
+                }
                 t->summary_seen = true;
                 break;  // batch served; the worker stays warm
               }
               // Workers execute their jobs strictly in arrival order; any
               // other index is a protocol violation.
-              if (t->completed >= t->assigned->size() ||
-                  parsed.index != (*t->assigned)[t->completed]) {
-                violate("worker answered for an unexpected job index");
+              if (t->completed >= t->assigned.size() ||
+                  parsed.index != t->assigned[t->completed]) {
+                violate("worker answered for job index " +
+                        std::to_string(parsed.index) +
+                        (t->completed < t->assigned.size()
+                             ? " while job " +
+                                   std::to_string(t->assigned[t->completed]) +
+                                   " was expected"
+                             : " after finishing its batch"));
                 continue;
               }
               const std::size_t idx = parsed.index;
@@ -468,52 +595,314 @@ void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
               ++t->completed;
               buffer.deposit_and_flush(idx, on_result);
             } catch (const Error& e) {
-              violate(std::string("malformed worker line: ") + e.what());
+              violate("malformed worker " +
+                      detail::describe_wire_line(line_no, line) + ": " +
+                      e.what());
             }
           }
         }
         if (!at_eof) return;  // healthy: summary received, worker warm
 
-        // EOF: the worker is gone (its own death, or our SIGKILL after a
-        // violation).  Reap it and apply the prefix rule: every job this
-        // shard never finished fails with a description of why.
+        // EOF: the worker is gone (its own death, our SIGKILL after a
+        // violation, or a deadline kill).  Record what it left behind and
+        // reap it; the pass classifies the unfinished jobs afterwards.
         t->dead = true;
-        ::waitpid(static_cast<pid_t>(t->slot->pid), &t->wait_status, 0);
-        if (t->completed < t->assigned->size()) {
-          std::string why = describe_exit(t->wait_status);
-          if (!t->violation.empty()) why += " (" + t->violation + ")";
-          for (std::size_t k = t->completed; k < t->assigned->size(); ++k) {
-            const std::size_t idx = (*t->assigned)[k];
-            buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
-                "process shard: " + why + " before job " +
-                std::to_string(idx) + " completed"));
-            buffer.deposit_and_flush(idx, on_result);
+        if (!pending.empty()) {
+          t->trailing = detail::describe_wire_line(line_no + 1, pending);
+        }
+        {
+          // reaped-before-waitpid: once set, the monitor never SIGKILLs
+          // this task, so the kill can never land on a recycled pid.
+          const std::lock_guard<std::mutex> lk(t->kill_mutex);
+          t->reaped = true;
+        }
+        ::waitpid(static_cast<pid_t>(t->pid), &t->wait_status, 0);
+      });
+    }
+
+    if (options_.job_timeout.count() > 0 || options_.batch_timeout.count() > 0) {
+      monitor = std::thread([this, &tasks, &expired, &monitor_mutex,
+                             &monitor_cv, &monitor_stop, batch_start] {
+        const auto kill_task = [this](PassTask& t, bool deadline) {
+          const std::lock_guard<std::mutex> lk(t.kill_mutex);
+          if (t.reaped || t.settled || t.kill_sent || t.pid < 0) return;
+          ::kill(static_cast<pid_t>(t.pid), SIGKILL);
+          t.kill_sent = true;
+          if (deadline) {
+            t.deadline_killed = true;
+            const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++stats_.deadline_kills;
+          }
+        };
+        std::unique_lock<std::mutex> lk(monitor_mutex);
+        for (;;) {
+          auto tick = std::chrono::milliseconds(20);
+          if (options_.job_timeout.count() > 0) {
+            tick = std::min(tick, std::chrono::milliseconds(std::max<
+                                      std::int64_t>(
+                                      1, options_.job_timeout.count() / 4)));
+          }
+          if (monitor_cv.wait_for(lk, tick, [&] { return monitor_stop; })) {
+            return;
+          }
+          const auto now = std::chrono::steady_clock::now();
+          if (options_.batch_timeout.count() > 0 &&
+              now - batch_start >= options_.batch_timeout) {
+            expired.store(true);
+            for (const auto& t : tasks) kill_task(*t, /*deadline=*/false);
+            return;
+          }
+          if (options_.job_timeout.count() > 0) {
+            const std::int64_t now_ns = steady_now_ns();
+            for (const auto& t : tasks) {
+              const std::int64_t last =
+                  t->last_progress_ns.load(std::memory_order_relaxed);
+              if (now_ns - last >=
+                  options_.job_timeout.count() * 1'000'000) {
+                kill_task(*t, /*deadline=*/true);
+              }
+            }
           }
         }
       });
     }
   }  // return_workers: every thread joined, every dead worker reaped
 
+  // Stop the monitor before reading `expired` so the verdict is final
+  // (the ScopeExit covers the throw paths and no-ops after this).
+  stop_monitor_now();
+  outcome.batch_expired = expired.load();
+
   {
     const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    stats_.jobs_shipped += jobs.size();
-    ++stats_.batches_run;
+    stats_.jobs_shipped += runnable.size();
     for (const auto& t : tasks) {
       if (t->summary_seen) {
-        stats_.plans_compiled += t->summary.plans_compiled;
-        stats_.plan_hits += t->summary.plan_hits;
+        // Credit, don't fold: the worker is alive and its cumulative
+        // totals keep superseding this snapshot batch after batch.
+        t->slot->last_summary = t->summary;
+        t->slot->has_summary = true;
       }
     }
   }
+  return outcome;
+}
 
-  // Job-level failures win (lowest index, as documented); a shard that
-  // finished its jobs but then broke protocol or died still fails the
-  // batch — after full delivery, so the prefix rule is unaffected.
-  buffer.rethrow_failures();
-  for (const auto& t : tasks) {
-    const auto residual = t->residual_failure();
-    if (!residual.empty()) throw ExecutionError(residual);
+void WorkerPool::run_fallback(const std::vector<BatchJob>& jobs,
+                              const std::vector<std::size_t>& indices,
+                              detail::ReorderBuffer& buffer,
+                              const Executor::ResultCallback& on_result) {
+  // Graceful degradation runs the exact run_synchronous the workers call,
+  // so a rerouted job's result is bit-identical to its sharded twin.
+  // Validate (base Executor) guarantees graph and factory are non-null.
+  for (const std::size_t idx : indices) {
+    const auto& job = jobs[idx];
+    try {
+      buffer.results[idx] =
+          run_synchronous(*job.graph, *job.factory, job.options);
+    } catch (...) {
+      buffer.errors[idx] = std::current_exception();
+    }
+    buffer.deposit_and_flush(idx, on_result);
   }
+  const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  stats_.fallback_jobs += indices.size();
+}
+
+void WorkerPool::run_batch(const std::vector<BatchJob>& jobs,
+                           const Executor::ResultCallback& on_result) {
+  if (jobs.empty()) return;
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  reap_idle_locked(batch_start);
+  {
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.batches_run;
+  }
+
+  detail::ReorderBuffer buffer(jobs.size());
+
+  if (quarantined_) {
+    if (options_.fallback_inprocess) {
+      std::vector<std::size_t> all(jobs.size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+      run_fallback(jobs, all, buffer, on_result);
+      buffer.rethrow_failures();
+      return;
+    }
+    throw ExecutionError("process shard: pool quarantined (" +
+                         quarantine_reason_ +
+                         "); drain() resets it, or enable the in-process "
+                         "fallback to degrade gracefully");
+  }
+
+  // Per-job attempt bookkeeping for the retry loop.  `attempts` is the
+  // number of the try currently (or last) in flight, 1-based; `history`
+  // collects one clause per failed attempt for the poison diagnostic.
+  struct JobTracker {
+    unsigned attempts = 1;
+    std::string history;
+  };
+  std::vector<JobTracker> trackers(jobs.size());
+
+  std::vector<std::size_t> runnable(jobs.size());
+  for (std::size_t i = 0; i < runnable.size(); ++i) runnable[i] = i;
+
+  const bool strict = options_.max_retries == 0;
+  std::vector<std::string> residuals;  // strict-mode post-completion failures
+  std::uint64_t deaths_this_batch = 0;
+  unsigned retry_pass = 0;
+
+  while (!runnable.empty()) {
+    const PassOutcome outcome =
+        run_pass(jobs, runnable, buffer, on_result, batch_start);
+    std::vector<std::size_t> requeue;
+
+    for (const auto& tp : outcome.tasks) {
+      PassTask& t = *tp;
+      if (!t.summary_seen) {
+        // This pass's per-batch delta died with the worker; the credited
+        // cumulative totals from earlier batches are safe in the slot.
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.summaries_lost;
+      }
+      if (t.summary_seen && !t.dead && t.violation.empty()) continue;
+      if (t.dead) ++deaths_this_batch;
+
+      std::string why;
+      if (t.dead) {
+        why = describe_exit(t.wait_status);
+        if (t.deadline_killed) {
+          why = "job deadline of " +
+                std::to_string(options_.job_timeout.count()) +
+                " ms exceeded; " + why;
+        }
+        if (!t.violation.empty()) why += " (" + t.violation + ")";
+      } else {
+        why = "protocol violation: " + (t.violation.empty()
+                                            ? std::string("worker went silent")
+                                            : t.violation);
+      }
+      if (!t.trailing.empty()) {
+        why += "; truncated trailing output at " + t.trailing;
+      }
+
+      const auto& asg = t.assigned;
+      if (t.completed >= asg.size()) {
+        // Post-completion deviation: every job was delivered.  Strict
+        // mode still fails the batch (the historical contract); resilient
+        // mode retires the worker dirty and moves on — the deviation is
+        // visible in summaries_lost / workers_respawned, not in results.
+        if (strict) {
+          const auto residual = t.residual_failure();
+          if (!residual.empty()) residuals.push_back(residual);
+        }
+        continue;
+      }
+
+      if (outcome.batch_expired) {
+        for (std::size_t k = t.completed; k < asg.size(); ++k) {
+          const std::size_t idx = asg[k];
+          buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
+              "process shard: batch deadline of " +
+              std::to_string(options_.batch_timeout.count()) +
+              " ms exceeded before job " + std::to_string(idx) +
+              " completed (" + why + ")"));
+          buffer.deposit_and_flush(idx, on_result);
+        }
+        continue;
+      }
+
+      if (strict) {
+        for (std::size_t k = t.completed; k < asg.size(); ++k) {
+          const std::size_t idx = asg[k];
+          buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
+              "process shard: " + why + " before job " + std::to_string(idx) +
+              " completed"));
+          buffer.deposit_and_flush(idx, on_result);
+        }
+        continue;
+      }
+
+      // Charge the in-flight job one attempt; its shard siblings were
+      // never started and are re-queued uncharged — that asymmetry is
+      // what lets a poison job exhaust its own budget without dragging
+      // the innocent jobs behind it into the quarantine.
+      const std::size_t inflight = asg[t.completed];
+      auto& tracker = trackers[inflight];
+      if (!tracker.history.empty()) tracker.history += "; ";
+      tracker.history +=
+          "attempt " + std::to_string(tracker.attempts) + ": " + why;
+      if (tracker.attempts > options_.max_retries) {
+        buffer.errors[inflight] = std::make_exception_ptr(ExecutionError(
+            "process shard: job " + std::to_string(inflight) +
+            " poisoned after " + std::to_string(tracker.attempts) +
+            " attempts (" + tracker.history + ")"));
+        buffer.deposit_and_flush(inflight, on_result);
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.jobs_poisoned;
+      } else {
+        ++tracker.attempts;
+        requeue.push_back(inflight);
+      }
+      for (std::size_t k = t.completed + 1; k < asg.size(); ++k) {
+        requeue.push_back(asg[k]);
+      }
+    }
+
+    if (outcome.batch_expired) {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.batch_timeouts;
+      break;
+    }
+    if (requeue.empty()) break;
+    std::sort(requeue.begin(), requeue.end());
+
+    if (options_.breaker_deaths != 0 &&
+        deaths_this_batch > options_.breaker_deaths) {
+      // Crash-loop breaker: the fleet is dying faster than retrying is
+      // worth.  Quarantine (sticky until drain()) and either degrade to
+      // in-process execution or fail the remaining jobs cleanly.
+      quarantined_ = true;
+      quarantine_reason_ =
+          std::to_string(deaths_this_batch) + " worker deaths in one batch";
+      {
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.pool_quarantines;
+      }
+      for (auto& slot : slots_) {
+        if (slot.pid >= 0) retire_locked(slot, /*count_reaped=*/false);
+      }
+      if (options_.fallback_inprocess) {
+        run_fallback(jobs, requeue, buffer, on_result);
+      } else {
+        for (const std::size_t idx : requeue) {
+          buffer.errors[idx] = std::make_exception_ptr(ExecutionError(
+              "process shard: pool quarantined (" + quarantine_reason_ +
+              ") before job " + std::to_string(idx) + " completed"));
+          buffer.deposit_and_flush(idx, on_result);
+        }
+      }
+      break;
+    }
+
+    {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      stats_.jobs_retried += requeue.size();
+    }
+    auto backoff = options_.retry_backoff * (1u << std::min(retry_pass, 6u));
+    backoff = std::min(backoff, std::chrono::milliseconds(1000));
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    ++retry_pass;
+    runnable = std::move(requeue);
+  }
+
+  // Job-level failures win (lowest index, as documented); in strict mode
+  // a shard that finished its jobs but then broke protocol or died still
+  // fails the batch — after full delivery, so the prefix rule holds.
+  buffer.rethrow_failures();
+  for (const auto& r : residuals) throw ExecutionError(r);
 }
 
 }  // namespace eds::runtime

@@ -13,10 +13,12 @@
 //
 //     empty --spawn (first batch that routes a job here)--> warm
 //     warm  --batch checkout--> serving --summary--> warm
-//     serving --EOF / protocol violation--> dead   (batch fails by the
-//                                                   prefix rule; the NEXT
-//                                                   batch respawns: counted
-//                                                   in workers_respawned)
+//     serving --EOF / protocol violation--> dead   (orphaned jobs retried
+//                                                   on the next pass — or,
+//                                                   with max_retries 0, the
+//                                                   strict prefix rule; a
+//                                                   respawn is counted in
+//                                                   workers_respawned)
 //     warm  --idle past the timeout / drain()--> empty  (clean EOF + reap,
 //                                                   counted in
 //                                                   workers_reaped)
@@ -42,6 +44,7 @@
 
 #include "runtime/batch.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/reorder.hpp"
 #include "runtime/shard.hpp"
 
 namespace eds::runtime {
@@ -54,8 +57,24 @@ class WorkerPool {
   /// the sum of its live pool and every pool it has already drained.
   using Stats = ProcessShardExecutor::Stats;
 
+  /// Pool-level resilience knobs; the duration mirror of the
+  /// ProcessShardExecutor::Options *_ms fields (see shard.hpp for the
+  /// full semantics of each).
+  struct Options {
+    std::chrono::milliseconds idle_timeout{0};  ///< 0 = no idle reaping
+    unsigned max_retries = 2;                   ///< 0 = strict prefix rule
+    std::chrono::milliseconds retry_backoff{10};
+    std::chrono::milliseconds job_timeout{0};   ///< 0 = no job deadline
+    std::chrono::milliseconds batch_timeout{0}; ///< 0 = no batch deadline
+    std::uint64_t breaker_deaths = 8;           ///< 0 = breaker off
+    bool fallback_inprocess = false;
+  };
+
   /// `worker_command` as in ProcessShardExecutor; `shards` must already be
-  /// resolved (non-zero).  `idle_timeout` of zero disables idle reaping.
+  /// resolved (non-zero).
+  WorkerPool(std::vector<std::string> worker_command, unsigned shards,
+             Options options);
+  /// Convenience: default resilience knobs with an explicit idle timeout.
   WorkerPool(std::vector<std::string> worker_command, unsigned shards,
              std::chrono::milliseconds idle_timeout);
   ~WorkerPool();
@@ -65,8 +84,9 @@ class WorkerPool {
 
   /// Runs one batch with full Executor semantics: jobs routed by
   /// JobSpec::group, results delivered to `on_result` in strictly
-  /// increasing index order, prefix rule + residual failures on worker
-  /// death or protocol violation.  Jobs must already be validated
+  /// increasing index order.  Worker deaths trigger bounded retries of
+  /// the orphaned jobs (Options::max_retries; 0 restores the strict
+  /// prefix rule + residual failures).  Jobs must already be validated
   /// (ProcessShardExecutor::validate).  Expired idle workers are reaped
   /// and dead slots respawned before any job is written.
   void run_batch(const std::vector<BatchJob>& jobs,
@@ -77,15 +97,25 @@ class WorkerPool {
   /// owner can release the processes without waiting for the next batch.
   void reap_idle();
 
-  /// Retires every live worker now (clean EOF + reap).  The pool stays
-  /// usable: the next batch respawns lazily.
+  /// Retires every live worker now (clean EOF + reap) and lifts any
+  /// quarantine.  The pool stays usable: the next batch respawns lazily.
   void drain();
+
+  /// True after the crash-loop breaker tripped; run_batch then fails fast
+  /// (or degrades to in-process execution when Options::fallback_inprocess
+  /// is set) until drain() resets the pool.
+  [[nodiscard]] bool quarantined() const;
 
   [[nodiscard]] unsigned shards() const noexcept { return shards_; }
 
   /// Worker processes currently alive and warm.
   [[nodiscard]] std::size_t live_workers() const;
 
+  /// Monotone even across worker deaths: a worker's cumulative cache
+  /// counters are credited from its last-seen per-batch summary, folded
+  /// into the aggregates when the worker retires or is found dead, so a
+  /// death before the final worker_summary loses at most one batch's
+  /// delta (counted in summaries_lost), never the lifetime totals.
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -98,25 +128,49 @@ class WorkerPool {
     /// *respawn*.  A clean idle reap does not set this.
     bool died_dirty = false;
     std::chrono::steady_clock::time_point last_used{};
+    /// Last worker_summary seen from the current occupant, carrying its
+    /// cumulative total_* counters (stats_mutex_; see stats()).
+    WorkerSummary last_summary{};
+    bool has_summary = false;  ///< stats_mutex_
   };
 
-  /// Per-checkout state of one slot's service of one batch (worker_pool.cpp).
-  struct BatchTask;
+  /// Per-checkout state of one slot's service of one pass (worker_pool.cpp).
+  struct PassTask;
+  struct PassOutcome;
 
   void reap_idle_locked(std::chrono::steady_clock::time_point now);
   /// Clean EOF + blocking reap; `count_reaped` separates idle/drain
   /// retirements (visible in stats) from destructor teardown.
   void retire_locked(Slot& slot, bool count_reaped);
   void ensure_worker_locked(Slot& slot);
+  /// Folds the slot's credited cumulative counters into stats_ and clears
+  /// them; called whenever a worker process ends (retire, found dead at
+  /// checkout, died in service).  batch_mutex_ must be held.
+  void fold_slot_summary_locked(Slot& slot);
+  /// Ships `runnable` (ascending job indices) as one framed wire batch
+  /// per participating shard; results deposit into `buffer`.
+  PassOutcome run_pass(const std::vector<BatchJob>& jobs,
+                       const std::vector<std::size_t>& runnable,
+                       detail::ReorderBuffer& buffer,
+                       const Executor::ResultCallback& on_result,
+                       std::chrono::steady_clock::time_point batch_start);
+  /// Graceful degradation: runs `indices` in-process (same
+  /// run_synchronous the workers call) and deposits into `buffer`.
+  void run_fallback(const std::vector<BatchJob>& jobs,
+                    const std::vector<std::size_t>& indices,
+                    detail::ReorderBuffer& buffer,
+                    const Executor::ResultCallback& on_result);
 
   std::vector<std::string> worker_command_;
   unsigned shards_;
-  std::chrono::milliseconds idle_timeout_;
+  Options options_;
   mutable std::mutex batch_mutex_;  ///< serializes batches + lifecycle
   mutable std::mutex stats_mutex_;
   Stats stats_;
   std::vector<Slot> slots_;
   std::uint64_t next_batch_id_ = 0;
+  bool quarantined_ = false;         ///< batch_mutex_
+  std::string quarantine_reason_;    ///< batch_mutex_
 };
 
 }  // namespace eds::runtime

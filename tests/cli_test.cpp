@@ -434,6 +434,75 @@ std::vector<std::string> lines_of(const std::string& text) {
   return lines;
 }
 
+TEST(Cli, SweepResilienceFlagsRequireShards) {
+  // The whole resilience surface lives behind the sharded backend;
+  // accepting the flags elsewhere would silently do nothing.
+  const std::vector<std::vector<std::string>> extras{
+      {"--retries", "1"},          {"--retry-backoff-ms", "5"},
+      {"--job-timeout-ms", "10"},  {"--batch-timeout-ms", "10"},
+      {"--breaker-deaths", "2"},   {"--fallback-inprocess"},
+      {"--chaos", "crash:1"},
+  };
+  for (const auto& extra : extras) {
+    std::vector<std::string> args{"sweep", "cycle", "--min", "8", "--max",
+                                  "8"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    const auto run = invoke(args);
+    EXPECT_EQ(run.code, 2) << extra.front();
+    EXPECT_NE(run.err.find("--shards"), std::string::npos) << run.err;
+  }
+}
+
+TEST(Cli, SweepRejectsAMalformedChaosSpec) {
+  // The spec is validated up front, in the parent — not discovered as a
+  // worker that dies with a usage error on its first batch.
+  const auto run = invoke({"sweep", "cycle", "--min", "8", "--max", "8",
+                           "--shards", "1", "--chaos", "frobnicate:1"});
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("chaos"), std::string::npos) << run.err;
+}
+
+TEST(Cli, SweepChaosSummaryReportsDegradedCountersAndIdenticalRows) {
+  if (!edsim_available()) GTEST_SKIP() << "edsim binary not found";
+  const std::vector<std::string> base{"sweep", "cycle",    "--min", "8",
+                                      "--max", "8",        "--repeat", "3",
+                                      "--seed", "3",       "--ndjson"};
+  auto clean = base;
+  clean.insert(clean.end(), {"--shards", "1"});
+  auto chaotic = clean;
+  // crash:2 kills the worker after its second answer, orphaning the
+  // third repeat — exercised as a retry, visible only in the summary.
+  chaotic.insert(chaotic.end(), {"--chaos", "crash:2",
+                                 "--retry-backoff-ms", "1"});
+
+  const auto a = invoke(clean);
+  const auto b = invoke(chaotic);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  const auto clean_lines = lines_of(a.out);
+  const auto chaos_lines = lines_of(b.out);
+  ASSERT_EQ(clean_lines.size(), chaos_lines.size());
+  // Every row is bit-identical — chaos may cost retries, never bytes.
+  for (std::size_t i = 0; i + 1 < clean_lines.size(); ++i) {
+    EXPECT_EQ(clean_lines[i], chaos_lines[i]) << "row " << i;
+  }
+  // The clean summary omits the resilience counters entirely (so it
+  // stays byte-identical to in-process backends); the degraded one
+  // carries the exact retry accounting.
+  const auto& clean_summary = clean_lines.back();
+  const auto& chaos_summary = chaos_lines.back();
+  EXPECT_EQ(json_field(clean_summary, "jobs_retried"), "");
+  EXPECT_EQ(json_field(chaos_summary, "jobs_retried"), "1");
+  EXPECT_EQ(json_field(chaos_summary, "workers_respawned"), "1");
+  EXPECT_EQ(json_field(chaos_summary, "jobs_poisoned"), "0");
+  EXPECT_EQ(json_field(chaos_summary, "summaries_lost"), "1")
+      << "the crashed worker died before reporting its batch delta";
+  // The retried job recompiled its plan in a fresh worker, but the cache
+  // accounting must stay coherent: same hits as the clean run reports.
+  EXPECT_EQ(json_field(chaos_summary, "jobs"), json_field(clean_summary,
+                                                          "jobs"));
+}
+
 TEST(Cli, SweepModelSyncDefaultIsByteIdentical) {
   // `--model sync` must be a no-op: same bytes as omitting the flag, in
   // both table and NDJSON mode.

@@ -285,9 +285,14 @@ TEST(ProcessShardExecutor, WorkerDeathFailsItsRemainingJobsWithTheExitStatus) {
   const std::vector<BatchJob> jobs(
       5, shippable_job(pg.ports(), *port_one, "port-one", 0));
 
-  // The worker's --fail-after hook makes it exit 7 after two results: the
+  // The worker's --fail-after hook makes it exit 7 after two results.  In
+  // strict mode (max_retries = 0 — the pre-resilience contract this test
+  // pins; the default retries instead, see resilience_test.cpp) the
   // delivered prefix is exactly {0, 1} and the rethrow names the status.
-  const ProcessShardExecutor executor({bin, "worker", "--fail-after", "2"}, 1);
+  ProcessShardExecutor::Options strict;
+  strict.max_retries = 0;
+  const ProcessShardExecutor executor({bin, "worker", "--fail-after", "2"}, 1,
+                                      strict);
   std::vector<std::size_t> delivered;
   try {
     executor.run_streaming(jobs, [&](std::size_t i, RunResult&&) {
@@ -310,9 +315,13 @@ TEST(ProcessShardExecutor, PostCompletionWorkerDeathStillFailsTheBatch) {
 
   // --fail-after 3 lets the worker answer every job and *then* die
   // without a summary: all results are delivered (they were verified in
-  // order), but the batch must still fail — the counters are incomplete
-  // and the worker broke protocol.
-  const ProcessShardExecutor executor({bin, "worker", "--fail-after", "3"}, 1);
+  // order), but in strict mode the batch must still fail — the counters
+  // are incomplete and the worker broke protocol.  (The resilient default
+  // absorbs this as summaries_lost; see resilience_test.cpp.)
+  ProcessShardExecutor::Options strict;
+  strict.max_retries = 0;
+  const ProcessShardExecutor executor({bin, "worker", "--fail-after", "3"}, 1,
+                                      strict);
   std::vector<std::size_t> delivered;
   try {
     executor.run_streaming(jobs, [&](std::size_t i, RunResult&&) {
@@ -337,7 +346,11 @@ TEST(ProcessShardExecutor, NonsenseWorkerCommandFailsEveryJobCleanly) {
 
   // /bin/false speaks no protocol and exits immediately; nothing is
   // delivered and the death is reported, with no hang and no zombie.
-  const ProcessShardExecutor executor({"/bin/false"}, 2);
+  // Strict mode keeps this fail-fast (retrying /bin/false would only
+  // burn backoff sleeps; the breaker path is covered in resilience_test).
+  ProcessShardExecutor::Options strict;
+  strict.max_retries = 0;
+  const ProcessShardExecutor executor({"/bin/false"}, 2, strict);
   std::size_t delivered = 0;
   EXPECT_THROW(executor.run_streaming(
                    jobs, [&](std::size_t, RunResult&&) { ++delivered; }),
